@@ -1,0 +1,40 @@
+#pragma once
+
+// Shared helpers for the experiment benches: standard workloads and the
+// header every bench prints so runs are self-describing and replayable.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "core/task_model.hpp"
+
+namespace emc::bench {
+
+/// Standard workload for cluster-scale simulations: a 27-molecule water
+/// cluster (135 shells, 9180 shell-pair tasks) — large enough for 1024
+/// simulated procs, small enough to build in seconds.
+inline core::TaskModel standard_workload(
+    const std::string& name = "water27") {
+  core::TaskModelOptions options;
+  options.basis_name = "sto-3g";
+  return core::build_task_model(name, options);
+}
+
+inline void print_header(const std::string& experiment,
+                         const std::string& claim,
+                         const core::TaskModel& model,
+                         std::uint64_t seed = 1) {
+  std::cout << "##############################################\n"
+            << "# " << experiment << "\n"
+            << "# claim: " << claim << "\n"
+            << "# workload: " << model.molecule.size() << " atoms, "
+            << model.basis.function_count() << " basis functions, "
+            << model.task_count() << " tasks, total cost "
+            << model.total_cost() << " sim-seconds\n"
+            << "# seed: " << seed << "\n"
+            << "##############################################\n";
+}
+
+}  // namespace emc::bench

@@ -1,0 +1,56 @@
+// EXP-2 — execution-model comparison across core counts (the paper's
+// headline figure): static-block vs static-LPT vs dynamic counter vs
+// work stealing on the simulated cluster, with speedup relative to the
+// serial execution and the work-stealing-vs-static improvement factor
+// (the abstract claims ~50%).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace emc;
+
+  const core::TaskModel model = bench::standard_workload();
+  bench::print_header(
+      "EXP-2: execution models vs core count",
+      "~50% improvement from work stealing over static scheduling",
+      model);
+
+  const double serial = model.total_cost();
+
+  Table table({"procs", "model", "makespan_ms", "speedup", "efficiency",
+               "vs_static_block"});
+  table.set_precision(3);
+  Table summary({"procs", "static_block_ms", "work_stealing_ms",
+                 "improvement_pct"});
+  summary.set_precision(1);
+
+  for (int p : {16, 32, 64, 128, 256, 512, 1024}) {
+    core::ExperimentConfig config;
+    config.machine.n_procs = p;
+    const auto runs = core::run_all_models(model, config);
+
+    double static_block = 0.0, stealing = 0.0;
+    for (const auto& run : runs) {
+      if (run.name == "static-block") static_block = run.sim.makespan;
+      if (run.name == "work-stealing") stealing = run.sim.makespan;
+    }
+    for (const auto& run : runs) {
+      table.add_row({static_cast<std::int64_t>(p), run.name,
+                     run.sim.makespan * 1e3, serial / run.sim.makespan,
+                     serial / run.sim.makespan / p,
+                     static_block / run.sim.makespan});
+    }
+    summary.add_row({static_cast<std::int64_t>(p), static_block * 1e3,
+                     stealing * 1e3,
+                     (static_block / stealing - 1.0) * 100.0});
+  }
+
+  table.print(std::cout, "per-model results");
+  std::cout << "\n";
+  summary.print(std::cout,
+                "work stealing vs static-block (paper: ~50% improvement)");
+  return 0;
+}

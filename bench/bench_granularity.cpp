@@ -1,0 +1,94 @@
+// EXP-6 — work-unit granularity: the abstract's "correct balance between
+// available work units and different system and runtime overheads".
+//
+// The Fock build can be decomposed at many granularities: few coarse
+// tasks (whole bra-pair rows) down to millions of fine tasks (individual
+// ket batches). This bench re-grains the measured task set by splitting
+// each task into s equal parts (finer) or agglomerating g consecutive
+// tasks (coarser), then replays the dynamic-counter and work-stealing
+// models. Too coarse pays imbalance; too fine pays per-unit dispatch and
+// counter/steal round trips — the U-curve the paper describes.
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "lb/simple.hpp"
+#include "sim/simulators.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+/// Re-grains a cost vector: factor > 0 splits each task into `factor`
+/// equal units; factor < 0 agglomerates |factor| consecutive tasks.
+std::vector<double> regrain(const std::vector<double>& costs, int factor) {
+  std::vector<double> out;
+  if (factor >= 1) {
+    out.reserve(costs.size() * static_cast<std::size_t>(factor));
+    for (double c : costs) {
+      for (int s = 0; s < factor; ++s) out.push_back(c / factor);
+    }
+  } else {
+    const int g = -factor;
+    for (std::size_t i = 0; i < costs.size(); i += static_cast<std::size_t>(g)) {
+      double sum = 0.0;
+      for (std::size_t j = i;
+           j < std::min(costs.size(), i + static_cast<std::size_t>(g)); ++j) {
+        sum += costs[j];
+      }
+      out.push_back(sum);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace emc;
+
+  const core::TaskModel model = bench::standard_workload();
+  bench::print_header(
+      "EXP-6: work-unit granularity vs runtime overheads (P = 256)",
+      "too-coarse pays imbalance, too-fine pays per-unit overheads",
+      model);
+
+  sim::MachineConfig machine;
+  machine.n_procs = 256;
+  // Per-unit costs of a GA-class runtime: task dispatch + the one-sided
+  // gets/accumulates every work unit performs.
+  machine.task_overhead = 2.0e-6;
+  machine.counter_service = 0.3e-6;
+
+  Table table({"grain", "units", "units_per_proc", "mean_unit_us",
+               "counter_ms", "stealing_ms"});
+  table.set_precision(3);
+
+  // factor: negative = agglomerate, positive = split.
+  for (int factor : {-512, -128, -32, -8, -2, 1, 4, 16, 64, 256}) {
+    const auto costs = regrain(model.costs, factor);
+    const auto n = costs.size();
+
+    const sim::SimResult counter = sim::simulate_counter(machine, costs, 1);
+    const auto block = lb::block_assignment(n, machine.n_procs);
+    const sim::SimResult steal =
+        sim::simulate_work_stealing(machine, costs, block);
+
+    double total = 0.0;
+    for (double c : costs) total += c;
+    const std::string label =
+        factor >= 1 ? "split x" + std::to_string(factor)
+                    : "merge x" + std::to_string(-factor);
+    table.add_row({label, static_cast<std::int64_t>(n),
+                   static_cast<double>(n) / machine.n_procs,
+                   total / static_cast<double>(n) * 1e6,
+                   counter.makespan * 1e3, steal.makespan * 1e3});
+  }
+  table.print(std::cout,
+              "granularity sweep (expect U-curves in both columns)");
+
+  std::cout << "\nlower bound (perfect balance, zero overhead): "
+            << model.total_cost() / machine.n_procs * 1e3 << " ms\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Kernel microbenchmarks (google-benchmark): the raw chemistry substrate
+// that generates the task costs — ERI quartets, Schwarz screening, and
+// one SCF Fock build. These calibrate the simulator's cost scale.
+
+#include <benchmark/benchmark.h>
+
+#include "chem/basis.hpp"
+#include "chem/eri.hpp"
+#include "chem/fock.hpp"
+#include "chem/integrals.hpp"
+#include "chem/molecule.hpp"
+
+namespace {
+
+using namespace emc::chem;
+
+void BM_EriQuartetSSSS(benchmark::State& state) {
+  const Molecule mol = make_water();
+  const BasisSet basis = BasisSet::build(mol, "sto-3g");
+  const Shell& s0 = basis.shells()[0];  // O 1s (deep contraction)
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eri_shell_quartet(s0, s0, s0, s0));
+  }
+}
+BENCHMARK(BM_EriQuartetSSSS);
+
+void BM_EriQuartetPPPP(benchmark::State& state) {
+  const Molecule mol = make_water();
+  const BasisSet basis = BasisSet::build(mol, "sto-3g");
+  const Shell& p = basis.shells()[2];  // O 2p
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eri_shell_quartet(p, p, p, p));
+  }
+}
+BENCHMARK(BM_EriQuartetPPPP);
+
+void BM_OverlapMatrix(benchmark::State& state) {
+  const Molecule mol = make_water_cluster(static_cast<int>(state.range(0)));
+  const BasisSet basis = BasisSet::build(mol, "sto-3g");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(overlap_matrix(basis));
+  }
+  state.counters["functions"] = basis.function_count();
+}
+BENCHMARK(BM_OverlapMatrix)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_SchwarzMatrix(benchmark::State& state) {
+  const Molecule mol = make_water_cluster(static_cast<int>(state.range(0)));
+  const BasisSet basis = BasisSet::build(mol, "sto-3g");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schwarz_matrix(basis));
+  }
+  state.counters["shells"] = static_cast<double>(basis.shell_count());
+}
+BENCHMARK(BM_SchwarzMatrix)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_FockBuild(benchmark::State& state) {
+  const Molecule mol = make_water_cluster(static_cast<int>(state.range(0)));
+  const BasisSet basis = BasisSet::build(mol, "sto-3g");
+  const FockBuilder builder(basis);
+  const auto n = static_cast<std::size_t>(basis.function_count());
+  emc::linalg::Matrix density(n, n);
+  for (std::size_t i = 0; i < n; ++i) density(i, i) = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(builder.build_g(density));
+  }
+}
+BENCHMARK(BM_FockBuild)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,70 @@
+// EXP-5 — balancer runtime cost (google-benchmark): the abstract calls
+// hypergraph partitioning "computationally expensive"; semi-matching is
+// the cheap alternative. One benchmark per balancer, swept over task
+// count; compare wall time per invocation.
+
+#include <benchmark/benchmark.h>
+
+#include "core/experiment.hpp"
+#include "core/task_model.hpp"
+#include "lb/hypergraph_partition.hpp"
+#include "lb/semi_matching.hpp"
+#include "lb/simple.hpp"
+
+namespace {
+
+using emc::core::TaskModel;
+
+const TaskModel& workload_for(int size_class) {
+  // size classes: 0 -> ~820 tasks, 1 -> ~3240, 2 -> ~9180.
+  static const TaskModel small = emc::core::build_task_model("water8");
+  static const TaskModel medium = emc::core::build_task_model("water16");
+  static const TaskModel large = emc::core::build_task_model("water27");
+  switch (size_class) {
+    case 0:
+      return small;
+    case 1:
+      return medium;
+    default:
+      return large;
+  }
+}
+
+constexpr int kProcs = 256;
+
+void BM_Lpt(benchmark::State& state) {
+  const TaskModel& model = workload_for(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(emc::lb::lpt_assignment(model.costs, kProcs));
+  }
+  state.counters["tasks"] = static_cast<double>(model.task_count());
+}
+BENCHMARK(BM_Lpt)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_SemiMatching(benchmark::State& state) {
+  const TaskModel& model = workload_for(static_cast<int>(state.range(0)));
+  const auto instance =
+      emc::core::make_locality_instance(model, kProcs, /*window=*/1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(emc::lb::semi_matching_balance(instance));
+  }
+  state.counters["tasks"] = static_cast<double>(model.task_count());
+}
+BENCHMARK(BM_SemiMatching)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_HypergraphPartition(benchmark::State& state) {
+  const TaskModel& model = workload_for(static_cast<int>(state.range(0)));
+  const auto hg = emc::core::make_task_hypergraph(model);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(emc::lb::hypergraph_balance(hg, kProcs));
+  }
+  state.counters["tasks"] = static_cast<double>(model.task_count());
+}
+BENCHMARK(BM_HypergraphPartition)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Iterations(2)  // seconds per run; bound the total bench time
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

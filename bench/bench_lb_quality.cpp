@@ -1,0 +1,44 @@
+// EXP-4 — load-balance quality: semi-matching vs hypergraph partitioning
+// vs the classical balancers, across core counts. The abstract's claim:
+// semi-matching "has comparable performance to a traditional hypergraph-
+// based partitioning implementation". Reports both makespan imbalance
+// and the communication proxy (connectivity cut of the task hypergraph).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "graph/hypergraph.hpp"
+#include "lb/partition.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace emc;
+
+  const core::TaskModel model = bench::standard_workload();
+  bench::print_header(
+      "EXP-4: balancer quality across core counts",
+      "semi-matching comparable to hypergraph partitioning", model);
+
+  const graph::Hypergraph hg = core::make_task_hypergraph(model);
+
+  Table table({"procs", "balancer", "imbalance", "makespan_ms",
+               "hg_cut", "balance_ms"});
+  table.set_precision(3);
+
+  for (int p : {16, 64, 256, 1024}) {
+    core::ExperimentConfig config;
+    config.machine.n_procs = p;
+    for (const std::string& algo : core::balancer_names()) {
+      const lb::BalanceResult r =
+          core::balance_tasks(model, algo, p, config);
+      const double imb = lb::imbalance(model.costs, r.assignment, p);
+      const double ms = lb::makespan(model.costs, r.assignment, p);
+      const std::vector<int> part(r.assignment.begin(), r.assignment.end());
+      table.add_row({static_cast<std::int64_t>(p), algo, imb, ms * 1e3,
+                     hg.connectivity_cut(part, p),
+                     r.balance_seconds * 1e3});
+    }
+  }
+  table.print(std::cout, "balancer quality (imbalance = max/mean load)");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// EXP-8 — runtime-overhead anatomy vs core count: steal traffic (hits,
+// misses, wasted round trips) and counter serialization, quantifying the
+// "different system and runtime overheads" the abstract blames for
+// limiting optimizations.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "lb/simple.hpp"
+#include "sim/simulators.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace emc;
+
+  const core::TaskModel model = bench::standard_workload();
+  bench::print_header(
+      "EXP-8: overhead anatomy vs core count",
+      "steal traffic and counter contention grow with P", model);
+
+  Table steal_table({"procs", "steals", "failed", "fail_rate_pct",
+                     "steal_wait_ms", "makespan_ms"});
+  steal_table.set_precision(3);
+  Table counter_table({"procs", "counter_ops", "avg_wait_us",
+                       "total_wait_ms", "makespan_ms"});
+  counter_table.set_precision(3);
+
+  for (int p : {16, 32, 64, 128, 256, 512, 1024}) {
+    sim::MachineConfig machine;
+    machine.n_procs = p;
+
+    const auto block = lb::block_assignment(model.task_count(), p);
+    const sim::SimResult ws =
+        sim::simulate_work_stealing(machine, model.costs, block);
+    const double failed =
+        static_cast<double>(ws.steal_attempts - ws.steals);
+    steal_table.add_row(
+        {static_cast<std::int64_t>(p), ws.steals,
+         ws.steal_attempts - ws.steals,
+         ws.steal_attempts > 0
+             ? failed / static_cast<double>(ws.steal_attempts) * 100.0
+             : 0.0,
+         ws.steal_wait * 1e3, ws.makespan * 1e3});
+
+    const sim::SimResult cn = sim::simulate_counter(machine, model.costs, 4);
+    counter_table.add_row(
+        {static_cast<std::int64_t>(p), cn.counter_ops,
+         cn.counter_wait / static_cast<double>(cn.counter_ops) * 1e6,
+         cn.counter_wait * 1e3, cn.makespan * 1e3});
+  }
+  steal_table.print(std::cout, "work-stealing overhead anatomy");
+  std::cout << "\n";
+  counter_table.print(std::cout, "dynamic-counter overhead anatomy");
+  return 0;
+}

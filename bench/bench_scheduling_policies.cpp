@@ -1,0 +1,81 @@
+// EXP-10 (extension/ablation) — the wider execution-model design space
+// the paper's conclusions point at: chunk policies for the shared
+// counter (fixed / guided / trapezoid), the hierarchical two-level
+// counter, hybrid static+dynamic execution, and steal victim-selection
+// policies. Each row is one design choice; columns quantify the
+// overhead/imbalance trade it makes.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "lb/simple.hpp"
+#include "sim/simulators.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace emc;
+
+  const core::TaskModel model = bench::standard_workload();
+  bench::print_header(
+      "EXP-10: scheduling-policy ablation (P = 256)",
+      "execution-model design choices trade overhead against imbalance",
+      model);
+
+  sim::MachineConfig machine;
+  machine.n_procs = 256;
+
+  Table table({"policy", "makespan_ms", "utilization_pct", "counter_ops",
+               "steals", "steal_or_counter_wait_ms"});
+  table.set_precision(2);
+
+  auto add = [&](const std::string& name, const sim::SimResult& r) {
+    table.add_row({name, r.makespan * 1e3, r.utilization() * 100.0,
+                   r.counter_ops, r.steals,
+                   (r.counter_wait + r.steal_wait) * 1e3});
+  };
+
+  // Counter chunk policies.
+  for (auto [name, policy] :
+       {std::pair<const char*, sim::ChunkPolicy>{"counter fixed(4)",
+                                                 sim::ChunkPolicy::kFixed},
+        {"counter guided", sim::ChunkPolicy::kGuided},
+        {"counter trapezoid", sim::ChunkPolicy::kTrapezoid}}) {
+    sim::CounterOptions options;
+    options.chunk = policy == sim::ChunkPolicy::kFixed ? 4 : 1;
+    options.policy = policy;
+    add(name, sim::simulate_counter(machine, model.costs, options));
+  }
+
+  // Hierarchical counter.
+  add("hierarchical 256/2",
+      sim::simulate_hierarchical_counter(machine, model.costs, 256, 2));
+  add("hierarchical 64/1",
+      sim::simulate_hierarchical_counter(machine, model.costs, 64, 1));
+
+  // Hybrid static+dynamic (LPT prefix, counter tail).
+  const auto lpt = lb::lpt_assignment(model.costs, machine.n_procs);
+  for (double frac : {0.1, 0.3, 0.5}) {
+    add("hybrid lpt+" + std::to_string(static_cast<int>(frac * 100)) + "%",
+        sim::simulate_hybrid(machine, model.costs, lpt, frac, 2));
+  }
+
+  // Victim policies for work stealing (block initial placement).
+  const auto block = lb::block_assignment(model.task_count(),
+                                          machine.n_procs);
+  for (auto [name, victim] : {std::pair<const char*, sim::VictimPolicy>{
+                                  "steal uniform",
+                                  sim::VictimPolicy::kUniform},
+                              {"steal node-first",
+                               sim::VictimPolicy::kNodeFirst},
+                              {"steal ring", sim::VictimPolicy::kRing}}) {
+    sim::StealOptions options;
+    options.victim = victim;
+    add(name,
+        sim::simulate_work_stealing(machine, model.costs, block, options));
+  }
+
+  table.print(std::cout, "policy ablation");
+  std::cout << "\nlower bound (perfect balance, zero overhead): "
+            << model.total_cost() / machine.n_procs * 1e3 << " ms\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// EXP-3 — system utilization per execution model (the abstract frames
+// the whole study as "utilization of an HPC system"). Reports busy
+// fraction, overhead anatomy and idle share at a fixed core count.
+
+#include <iostream>
+#include <numeric>
+#include <string>
+
+#include "bench_common.hpp"
+#include "lb/simple.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace emc;
+
+  const core::TaskModel model = bench::standard_workload();
+  bench::print_header(
+      "EXP-3: utilization per execution model (P = 256)",
+      "execution-model choice drives system utilization", model);
+
+  core::ExperimentConfig config;
+  config.machine.n_procs = 256;
+  const auto runs = core::run_all_models(model, config);
+
+  Table table({"model", "makespan_ms", "utilization_pct", "steals",
+               "failed_steals", "counter_ops", "balance_ms"});
+  table.set_precision(2);
+  for (const auto& run : runs) {
+    table.add_row(
+        {run.name, run.sim.makespan * 1e3, run.sim.utilization() * 100.0,
+         run.sim.steals, run.sim.steal_attempts - run.sim.steals,
+         run.sim.counter_ops, run.balance_seconds * 1e3});
+  }
+  table.print(std::cout, "utilization at 256 simulated cores");
+
+  // Utilization-over-time curves (the paper's utilization figures):
+  // each row is one time bin; bar length = fraction of cores busy.
+  std::cout << "\nutilization timelines (20 bins across each makespan):\n";
+  sim::MachineConfig traced = config.machine;
+  traced.record_trace = true;
+
+  const auto block = emc::lb::block_assignment(model.task_count(),
+                                               traced.n_procs);
+  const auto lpt = emc::lb::lpt_assignment(model.costs, traced.n_procs);
+  struct Curve {
+    std::string name;
+    sim::SimResult result;
+  };
+  const Curve curves[] = {
+      {"static-block", sim::simulate_static(traced, model.costs, block)},
+      {"static-lpt", sim::simulate_static(traced, model.costs, lpt)},
+      {"counter(4)", sim::simulate_counter(traced, model.costs, 4)},
+      {"work-stealing",
+       sim::simulate_work_stealing(traced, model.costs, block)},
+  };
+  for (const Curve& curve : curves) {
+    const auto timeline =
+        sim::utilization_timeline(curve.result, traced.n_procs, 20);
+    std::cout << "  " << curve.name << "\n";
+    for (std::size_t b = 0; b < timeline.size(); ++b) {
+      const auto bar = static_cast<std::size_t>(timeline[b] * 40.0);
+      std::cout << "    |" << std::string(bar, '#')
+                << std::string(40 - bar, ' ') << "| "
+                << static_cast<int>(timeline[b] * 100.0) << "%\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// EXP-2b (extension) — weak scaling: grow the chemical system together
+// with the core count (one water molecule per 8 simulated cores) and
+// track per-model efficiency. Complements EXP-2's strong scaling; the
+// paper's utilization arguments are really about this regime, where the
+// per-core task pool stays roughly constant but the cost *distribution*
+// widens with system size.
+
+#include <iostream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "lb/simple.hpp"
+#include "sim/simulators.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace emc;
+
+  Table table({"procs", "waters", "tasks", "work_s", "static_lpt_ms",
+               "counter_ms", "stealing_ms", "stealing_efficiency"});
+  table.set_precision(3);
+
+  std::cout << "##############################################\n"
+            << "# EXP-2b: weak scaling (1 water per 8 cores)\n"
+            << "# claim: dynamic models hold efficiency as the system and\n"
+            << "#        machine grow together\n"
+            << "##############################################\n";
+
+  for (int p : {16, 32, 64, 128, 256}) {
+    const int waters = p / 8;
+    const core::TaskModel model =
+        core::build_task_model("water" + std::to_string(waters));
+
+    sim::MachineConfig machine;
+    machine.n_procs = p;
+
+    const auto lpt = lb::lpt_assignment(model.costs, p);
+    const auto block = lb::block_assignment(model.task_count(), p);
+    const double st = sim::simulate_static(machine, model.costs, lpt).makespan;
+    const double cn = sim::simulate_counter(machine, model.costs, 2).makespan;
+    const double ws =
+        sim::simulate_work_stealing(machine, model.costs, block).makespan;
+
+    const double ideal = model.total_cost() / static_cast<double>(p);
+    table.add_row({static_cast<std::int64_t>(p),
+                   static_cast<std::int64_t>(waters),
+                   static_cast<std::int64_t>(model.task_count()),
+                   model.total_cost(), st * 1e3, cn * 1e3, ws * 1e3,
+                   ideal / ws});
+  }
+  table.print(std::cout, "weak scaling (efficiency = ideal/actual)");
+  return 0;
+}

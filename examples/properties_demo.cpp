@@ -1,0 +1,76 @@
+// Molecular-properties tour: optimize a geometry on the RHF surface,
+// then report energy, dipole moment, Mulliken charges, MP2 correlation,
+// and the final structure as XYZ.
+//
+//   ./build/examples/properties_demo --molecule water --basis sto-3g
+
+#include <cmath>
+#include <iostream>
+
+#include "chem/element.hpp"
+#include "chem/integrals.hpp"
+#include "chem/mp2.hpp"
+#include "chem/properties.hpp"
+#include "chem/scf.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace emc;
+
+  std::string molecule_name = "water";
+  std::string basis_name = "sto-3g";
+  bool optimize = false;
+
+  Cli cli("properties_demo", "RHF properties and geometry optimization");
+  cli.add_string("molecule", 'm', "molecule name", &molecule_name);
+  cli.add_string("basis", 'b', "basis set", &basis_name);
+  cli.add_flag("optimize", 'o', "optimize the geometry first", &optimize);
+  if (!cli.parse(argc, argv)) return 1;
+
+  chem::Molecule mol = chem::make_named_molecule(molecule_name);
+
+  if (optimize) {
+    std::cout << "optimizing " << molecule_name << " on the RHF/"
+              << basis_name << " surface...\n";
+    const chem::OptimizeResult opt =
+        chem::optimize_geometry(mol, basis_name);
+    std::cout << "  " << (opt.converged ? "converged" : "stopped")
+              << " after " << opt.steps << " steps, |grad|max = "
+              << opt.gradient_norm << " Eh/a0\n";
+    mol = opt.geometry;
+  }
+
+  const chem::BasisSet basis = chem::BasisSet::build(mol, basis_name);
+  const chem::ScfResult scf = chem::run_rhf(mol, basis);
+  if (!scf.converged) {
+    std::cerr << "SCF did not converge\n";
+    return 1;
+  }
+
+  std::cout << "E(RHF) = " << scf.energy << " Hartree ("
+            << scf.iterations << " iterations)\n";
+
+  const chem::Vec3 mu = chem::dipole_moment(scf.density, basis, mol);
+  const double mu_norm =
+      std::sqrt(mu[0] * mu[0] + mu[1] * mu[1] + mu[2] * mu[2]);
+  std::cout << "dipole = (" << mu[0] << ", " << mu[1] << ", " << mu[2]
+            << ") a.u., |mu| = " << mu_norm << " a.u. = "
+            << mu_norm * 2.541746 << " Debye\n";
+
+  const auto charges = chem::mulliken_charges(scf.density, basis, mol);
+  std::cout << "Mulliken charges:\n";
+  for (std::size_t a = 0; a < mol.size(); ++a) {
+    std::cout << "  " << chem::element_symbol(mol.atoms()[a].z) << "  "
+              << charges[a] << "\n";
+  }
+
+  if (basis.function_count() <= 40) {  // keep the O(n^5) transform sane
+    const chem::Mp2Result mp2 = chem::run_mp2(mol, basis);
+    std::cout << "E(2)   = " << mp2.correlation_energy
+              << " Hartree (MP2 total " << mp2.total_energy << ")\n";
+  }
+
+  std::cout << "\nfinal geometry:\n"
+            << chem::to_xyz(mol, molecule_name + " / RHF/" + basis_name);
+  return 0;
+}

@@ -1,0 +1,156 @@
+// Full Hartree-Fock runner: choose a molecule and basis on the command
+// line, run RHF (optionally through the parallel work-stealing executor)
+// and print the energy decomposition and orbital spectrum.
+//
+//   ./build/examples/scf_hartree_fock --molecule water --basis 6-31g
+//   ./build/examples/scf_hartree_fock --molecule alkane4 --ranks 4
+
+#include <iostream>
+#include <vector>
+
+#include "chem/fock.hpp"
+#include "chem/mp2.hpp"
+#include "chem/scf.hpp"
+#include "chem/uhf.hpp"
+#include "exec/schedulers.hpp"
+#include "lb/simple.hpp"
+#include "pgas/runtime.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace emc;
+
+  std::string molecule_name = "water";
+  std::string basis_name = "sto-3g";
+  std::string method = "rhf";
+  std::int64_t ranks = 1;
+  std::int64_t net_charge = 0;
+  std::int64_t multiplicity = 1;
+  bool verbose = false;
+
+  Cli cli("scf_hartree_fock", "Hartree-Fock / MP2 driver");
+  cli.add_string("molecule", 'm',
+                 "molecule: h2, water, methane, benzene, water<k>, "
+                 "alkane<k>",
+                 &molecule_name);
+  cli.add_string("basis", 'b', "basis set: sto-3g, 6-31g, 6-31g*",
+                 &basis_name);
+  cli.add_string("method", 'M', "method: rhf, uhf, or mp2", &method);
+  cli.add_int("ranks", 'r', "PGAS ranks for the parallel Fock build (rhf)",
+              &ranks);
+  cli.add_int("charge", 'q', "net molecular charge", &net_charge);
+  cli.add_int("multiplicity", 'S', "spin multiplicity 2S+1 (uhf)",
+              &multiplicity);
+  cli.add_flag("verbose", 'v', "print orbital energies", &verbose);
+  if (!cli.parse(argc, argv)) return 1;
+
+  const chem::Molecule mol = chem::make_named_molecule(molecule_name);
+  const chem::BasisSet basis = chem::BasisSet::build(mol, basis_name);
+  std::cout << molecule_name << " (" << mol.size() << " atoms, "
+            << mol.electron_count(static_cast<int>(net_charge))
+            << " electrons) in " << basis_name << " ("
+            << basis.function_count() << " functions, "
+            << basis.shell_count() << " shells)\n";
+
+  chem::ScfOptions options;
+  options.net_charge = static_cast<int>(net_charge);
+
+  if (method == "uhf") {
+    chem::UhfOptions uhf_options;
+    uhf_options.net_charge = static_cast<int>(net_charge);
+    uhf_options.multiplicity = static_cast<int>(multiplicity);
+    Timer uhf_timer;
+    const chem::UhfResult r = chem::run_uhf(mol, basis, uhf_options);
+    if (!r.converged) {
+      std::cerr << "UHF did not converge\n";
+      return 1;
+    }
+    std::cout << "UHF converged in " << r.iterations << " iterations, "
+              << uhf_timer.seconds() << " s\n"
+              << "  E(total) = " << r.energy << " Hartree\n"
+              << "  n_alpha = " << r.n_alpha << ", n_beta = " << r.n_beta
+              << ", <S^2> = " << r.s_squared << "\n";
+    return 0;
+  }
+  if (method == "mp2") {
+    Timer mp2_timer;
+    const chem::Mp2Result r = chem::run_mp2(mol, basis, options);
+    std::cout << "MP2 finished in " << mp2_timer.seconds() << " s\n"
+              << "  E(MP2 total)   = " << r.total_energy << " Hartree\n"
+              << "  E(2)           = " << r.correlation_energy << "\n"
+              << "  same-spin      = " << r.same_spin << "\n"
+              << "  opposite-spin  = " << r.opposite_spin << "\n";
+    return 0;
+  }
+  if (method != "rhf") {
+    std::cerr << "unknown method '" << method << "'\n";
+    return 1;
+  }
+
+  Timer timer;
+  chem::ScfResult result;
+  if (ranks <= 1) {
+    result = chem::run_rhf(mol, basis, options);
+  } else {
+    // Parallel Fock build: tasks executed under work stealing, per-rank
+    // J/K accumulators merged per iteration.
+    const chem::FockBuilder builder(basis, options.screen_threshold);
+    pgas::Runtime runtime(static_cast<int>(ranks));
+    const auto tasks = builder.make_tasks();
+    const auto n = static_cast<std::size_t>(basis.function_count());
+
+    result = chem::run_rhf_with_builder(
+        mol, basis,
+        [&](const linalg::Matrix& density) {
+          std::vector<linalg::Matrix> j(static_cast<std::size_t>(ranks),
+                                        linalg::Matrix(n, n));
+          std::vector<linalg::Matrix> k(static_cast<std::size_t>(ranks),
+                                        linalg::Matrix(n, n));
+          exec::run_work_stealing(
+              runtime, static_cast<std::int64_t>(tasks.size()),
+              lb::block_assignment(tasks.size(), static_cast<int>(ranks)),
+              [&](std::int64_t t, int rank) {
+                builder.execute_task(tasks[static_cast<std::size_t>(t)],
+                                     density,
+                                     j[static_cast<std::size_t>(rank)],
+                                     k[static_cast<std::size_t>(rank)]);
+              });
+          linalg::Matrix jt(n, n), kt(n, n);
+          for (std::int64_t r = 0; r < ranks; ++r) {
+            jt += j[static_cast<std::size_t>(r)];
+            kt += k[static_cast<std::size_t>(r)];
+          }
+          return chem::FockBuilder::combine_jk(jt, kt);
+        },
+        options);
+  }
+  const double seconds = timer.seconds();
+
+  if (!result.converged) {
+    std::cerr << "SCF did not converge in " << result.iterations
+              << " iterations\n";
+    return 1;
+  }
+  std::cout << "converged in " << result.iterations << " iterations, "
+            << seconds << " s\n"
+            << "  E(total)      = " << result.energy << " Hartree\n"
+            << "  E(electronic) = " << result.electronic_energy << "\n"
+            << "  E(nuclear)    = " << result.nuclear_repulsion << "\n"
+            << "  E(kinetic)    = " << result.kinetic_energy
+            << "  (virial -V/T = "
+            << -(result.energy - result.kinetic_energy) /
+                   result.kinetic_energy
+            << ")\n";
+
+  if (verbose) {
+    std::cout << "orbital energies (Hartree):\n";
+    const int n_occ =
+        mol.electron_count(static_cast<int>(net_charge)) / 2;
+    for (std::size_t i = 0; i < result.orbital_energies.size(); ++i) {
+      std::cout << "  " << (static_cast<int>(i) < n_occ ? "occ " : "virt")
+                << "  " << result.orbital_energies[i] << "\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,206 @@
+#include "chem/basis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "chem/constants.hpp"
+#include "chem/element.hpp"
+
+namespace emc::chem {
+
+namespace {
+
+double double_factorial(int n) {
+  double r = 1.0;
+  for (int k = n; k > 1; k -= 2) r *= static_cast<double>(k);
+  return r;
+}
+
+/// One shell's raw parameters as tabulated (coefficients apply to
+/// normalized primitives).
+struct RawShell {
+  int l;
+  std::vector<double> exponents;
+  std::vector<double> coefficients;
+};
+
+/// STO-3G (EMSL tabulation). The s/p contraction coefficients are shared
+/// across second-row elements; only exponents differ.
+std::vector<RawShell> sto3g_shells(int z) {
+  const std::vector<double> s1_coeff{0.15432897, 0.53532814, 0.44463454};
+  const std::vector<double> s2_coeff{-0.09996723, 0.39951283, 0.70011547};
+  const std::vector<double> p2_coeff{0.15591627, 0.60768372, 0.39195739};
+
+  switch (z) {
+    case 1:  // H
+      return {{0, {3.42525091, 0.62391373, 0.16885540}, s1_coeff}};
+    case 6: {  // C
+      const std::vector<double> e1{71.6168370, 13.0450960, 3.5305122};
+      const std::vector<double> e2{2.9412494, 0.6834831, 0.2222899};
+      return {{0, e1, s1_coeff}, {0, e2, s2_coeff}, {1, e2, p2_coeff}};
+    }
+    case 7: {  // N
+      const std::vector<double> e1{99.1061690, 18.0523120, 4.8856602};
+      const std::vector<double> e2{3.7804559, 0.8784966, 0.2857144};
+      return {{0, e1, s1_coeff}, {0, e2, s2_coeff}, {1, e2, p2_coeff}};
+    }
+    case 8: {  // O
+      const std::vector<double> e1{130.7093200, 23.8088610, 6.4436083};
+      const std::vector<double> e2{5.0331513, 1.1695961, 0.3803890};
+      return {{0, e1, s1_coeff}, {0, e2, s2_coeff}, {1, e2, p2_coeff}};
+    }
+    default:
+      throw std::invalid_argument(
+          std::string("sto-3g: no parameters for element ") +
+          element_symbol(z));
+  }
+}
+
+/// 6-31G (EMSL tabulation) for H, C, O.
+std::vector<RawShell> g631_shells(int z) {
+  switch (z) {
+    case 1:  // H
+      return {{0,
+               {18.7311370, 2.8253937, 0.6401217},
+               {0.03349460, 0.23472695, 0.81375733}},
+              {0, {0.1612778}, {1.0}}};
+    case 6: {  // C
+      return {{0,
+               {3047.5249, 457.36951, 103.94869, 29.210155, 9.2866630,
+                3.1639270},
+               {0.0018347, 0.0140373, 0.0688426, 0.2321844, 0.4679413,
+                0.3623120}},
+              {0,
+               {7.8682724, 1.8812885, 0.5442493},
+               {-0.1193324, -0.1608542, 1.1434564}},
+              {1,
+               {7.8682724, 1.8812885, 0.5442493},
+               {0.0689991, 0.3164240, 0.7443083}},
+              {0, {0.1687144}, {1.0}},
+              {1, {0.1687144}, {1.0}}};
+    }
+    case 8: {  // O
+      return {{0,
+               {5484.6717, 825.23495, 188.04696, 52.964500, 16.897570,
+                5.7996353},
+               {0.0018311, 0.0139501, 0.0684451, 0.2327143, 0.4701930,
+                0.3585209}},
+              {0,
+               {15.539616, 3.5999336, 1.0137618},
+               {-0.1107775, -0.1480263, 1.1307670}},
+              {1,
+               {15.539616, 3.5999336, 1.0137618},
+               {0.0708743, 0.3397528, 0.7271586}},
+              {0, {0.2700058}, {1.0}},
+              {1, {0.2700058}, {1.0}}};
+    }
+    default:
+      throw std::invalid_argument(
+          std::string("6-31g: no parameters for element ") +
+          element_symbol(z));
+  }
+}
+
+/// 6-31G* = 6-31G plus one uncontracted cartesian d shell on heavy
+/// atoms (standard polarization exponents: C 0.8, N 0.8, O 0.8).
+std::vector<RawShell> g631star_shells(int z) {
+  std::vector<RawShell> shells = g631_shells(z);
+  if (z > 2) {
+    shells.push_back(RawShell{2, {0.8}, {1.0}});
+  }
+  return shells;
+}
+
+std::string to_lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+std::vector<CartesianComponent> cartesian_components(int l) {
+  std::vector<CartesianComponent> out;
+  out.reserve(static_cast<std::size_t>(cartesian_count(l)));
+  for (int lx = l; lx >= 0; --lx) {
+    for (int ly = l - lx; ly >= 0; --ly) {
+      out.push_back(CartesianComponent{lx, ly, l - lx - ly});
+    }
+  }
+  return out;
+}
+
+double primitive_norm(double a, int lx, int ly, int lz) {
+  const int l = lx + ly + lz;
+  const double pref = std::pow(2.0 * a / kPi, 0.75);
+  const double num = std::pow(4.0 * a, 0.5 * static_cast<double>(l));
+  const double den = std::sqrt(double_factorial(2 * lx - 1) *
+                               double_factorial(2 * ly - 1) *
+                               double_factorial(2 * lz - 1));
+  return pref * num / den;
+}
+
+double Shell::component_norm(int lx, int ly, int lz) const {
+  if (lx + ly + lz != l) {
+    throw std::invalid_argument("component_norm: component does not match l");
+  }
+  // Self-overlap of the contracted, component-unnormalized function
+  // (integrals are computed over raw cartesian primitives using the
+  // effective coefficients, so this constant makes <chi|chi> = 1):
+  //   S = sum_ab c_a c_b * (pi/p)^{3/2} *
+  //       prod_dim (2n-1)!! / (2p)^n,   p = a+b.
+  const double df = double_factorial(2 * lx - 1) *
+                    double_factorial(2 * ly - 1) *
+                    double_factorial(2 * lz - 1);
+  double s = 0.0;
+  for (std::size_t a = 0; a < exponents.size(); ++a) {
+    for (std::size_t b = 0; b < exponents.size(); ++b) {
+      const double p = exponents[a] + exponents[b];
+      const double overlap = std::pow(kPi / p, 1.5) * df /
+                             std::pow(2.0 * p, static_cast<double>(l));
+      s += coefficients[a] * coefficients[b] * overlap;
+    }
+  }
+  return 1.0 / std::sqrt(s);
+}
+
+BasisSet BasisSet::build(const Molecule& molecule, const std::string& name) {
+  const std::string key = to_lower(name);
+  BasisSet bs;
+  bs.name_ = key;
+
+  for (std::size_t ai = 0; ai < molecule.atoms().size(); ++ai) {
+    const Atom& atom = molecule.atoms()[ai];
+    std::vector<RawShell> raw;
+    if (key == "sto-3g" || key == "sto3g") {
+      raw = sto3g_shells(atom.z);
+    } else if (key == "6-31g" || key == "631g") {
+      raw = g631_shells(atom.z);
+    } else if (key == "6-31g*" || key == "631g*" || key == "6-31gs") {
+      raw = g631star_shells(atom.z);
+    } else {
+      throw std::invalid_argument("BasisSet: unknown basis '" + name + "'");
+    }
+
+    for (const RawShell& rs : raw) {
+      Shell shell;
+      shell.center = atom.xyz;
+      shell.l = rs.l;
+      shell.atom_index = static_cast<int>(ai);
+      shell.exponents = rs.exponents;
+      shell.coefficients.resize(rs.coefficients.size());
+      // Fold the (l,0,0)-component primitive norm into the coefficients.
+      for (std::size_t k = 0; k < rs.exponents.size(); ++k) {
+        shell.coefficients[k] =
+            rs.coefficients[k] * primitive_norm(rs.exponents[k], rs.l, 0, 0);
+      }
+      shell.first_function = bs.n_functions_;
+      bs.n_functions_ += shell.function_count();
+      bs.shells_.push_back(std::move(shell));
+    }
+  }
+  return bs;
+}
+
+}  // namespace emc::chem

@@ -1,0 +1,61 @@
+#include "chem/boys.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "chem/constants.hpp"
+
+namespace emc::chem {
+
+namespace {
+
+/// Ascending series for F_m(x):
+///   F_m(x) = e^{-x} / 2 * sum_{k>=0} (2m-1)!! (2x)^k / (2m+2k+1)!!
+/// expressed as the equivalent Kummer series; converges fast for x < ~35.
+double boys_series(int m, double x) {
+  const double expmx = std::exp(-x);
+  double term = 1.0 / (2.0 * static_cast<double>(m) + 1.0);
+  double sum = term;
+  for (int k = 1; k < 200; ++k) {
+    term *= 2.0 * x / (2.0 * static_cast<double>(m + k) + 1.0);
+    sum += term;
+    if (term < 1e-17 * sum) break;
+  }
+  return expmx * sum;
+}
+
+}  // namespace
+
+void boys(double x, std::span<double> out) {
+  if (out.empty()) return;
+  if (x < 0.0) throw std::invalid_argument("boys: x must be >= 0");
+  const int m_max = static_cast<int>(out.size()) - 1;
+
+  if (x < 35.0) {
+    out[static_cast<std::size_t>(m_max)] = boys_series(m_max, x);
+    const double expmx = std::exp(-x);
+    for (int m = m_max - 1; m >= 0; --m) {
+      out[static_cast<std::size_t>(m)] =
+          (2.0 * x * out[static_cast<std::size_t>(m + 1)] + expmx) /
+          (2.0 * static_cast<double>(m) + 1.0);
+    }
+  } else {
+    // Asymptotic: F_0(x) ~ sqrt(pi / (4x)); e^{-x} underflows relevance.
+    out[0] = 0.5 * std::sqrt(kPi / x);
+    const double inv2x = 1.0 / (2.0 * x);
+    for (int m = 1; m <= m_max; ++m) {
+      out[static_cast<std::size_t>(m)] =
+          out[static_cast<std::size_t>(m - 1)] *
+          (2.0 * static_cast<double>(m) - 1.0) * inv2x;
+    }
+  }
+}
+
+double boys(int m, double x) {
+  std::vector<double> buf(static_cast<std::size_t>(m) + 1);
+  boys(x, buf);
+  return buf[static_cast<std::size_t>(m)];
+}
+
+}  // namespace emc::chem

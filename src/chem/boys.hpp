@@ -1,0 +1,22 @@
+#pragma once
+
+// Boys function F_m(x) = \int_0^1 t^{2m} exp(-x t^2) dt, the radial
+// kernel of all Coulomb-type Gaussian integrals.
+
+#include <span>
+
+namespace emc::chem {
+
+/// Fills out[0..m_max] with F_0(x) .. F_m_max(x).
+///
+/// Strategy: for small/moderate x, evaluate F_{m_max} by its (rapidly
+/// converging) ascending series and fill lower orders by stable downward
+/// recursion F_m = (2x F_{m+1} + e^{-x}) / (2m + 1). For large x, use the
+/// asymptotic closed form of F_0 and upward recursion, which is stable
+/// there because e^{-x} is negligible.
+void boys(double x, std::span<double> out);
+
+/// Single-order convenience wrapper.
+double boys(int m, double x);
+
+}  // namespace emc::chem

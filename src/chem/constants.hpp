@@ -1,0 +1,13 @@
+#pragma once
+
+// Physical constants and unit conversions (atomic units internally).
+
+namespace emc::chem {
+
+/// 1 Angstrom in Bohr radii (CODATA 2018).
+inline constexpr double kAngstromToBohr = 1.8897259886;
+inline constexpr double kBohrToAngstrom = 1.0 / kAngstromToBohr;
+
+inline constexpr double kPi = 3.14159265358979323846;
+
+}  // namespace emc::chem

@@ -1,0 +1,30 @@
+#include "chem/element.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace emc::chem {
+
+namespace {
+constexpr std::array<const char*, 19> kSymbols = {
+    "?",  "H",  "He", "Li", "Be", "B",  "C",  "N",  "O", "F",
+    "Ne", "Na", "Mg", "Al", "Si", "P",  "S",  "Cl", "Ar"};
+}  // namespace
+
+int atomic_number(const std::string& symbol) {
+  for (int z = 1; z < static_cast<int>(kSymbols.size()); ++z) {
+    if (symbol == kSymbols[static_cast<std::size_t>(z)]) return z;
+  }
+  throw std::invalid_argument("atomic_number: unknown element '" + symbol +
+                              "'");
+}
+
+const char* element_symbol(int z) {
+  if (z < 1 || z >= static_cast<int>(kSymbols.size())) {
+    throw std::invalid_argument("element_symbol: Z out of range: " +
+                                std::to_string(z));
+  }
+  return kSymbols[static_cast<std::size_t>(z)];
+}
+
+}  // namespace emc::chem

@@ -1,0 +1,17 @@
+#pragma once
+
+// Chemical element data for the first three rows (all this study needs).
+
+#include <string>
+
+namespace emc::chem {
+
+/// Atomic number for an element symbol ("H", "He", ..., "Ar").
+/// Throws std::invalid_argument for unknown symbols.
+int atomic_number(const std::string& symbol);
+
+/// Element symbol for an atomic number in [1, 18].
+/// Throws std::invalid_argument when out of range.
+const char* element_symbol(int z);
+
+}  // namespace emc::chem

@@ -1,0 +1,189 @@
+#include "chem/eri.hpp"
+
+#include <cmath>
+
+#include "chem/constants.hpp"
+#include "chem/integrals.hpp"
+
+namespace emc::chem {
+
+double EriBlock::max_abs() const {
+  double m = 0.0;
+  for (double x : data_) m = std::max(m, std::abs(x));
+  return m;
+}
+
+EriBlock eri_shell_quartet(const Shell& sa, const Shell& sb, const Shell& sc,
+                           const Shell& sd) {
+  const auto ca = cartesian_components(sa.l);
+  const auto cb = cartesian_components(sb.l);
+  const auto cc_ = cartesian_components(sc.l);
+  const auto cd = cartesian_components(sd.l);
+  EriBlock block(static_cast<int>(ca.size()), static_cast<int>(cb.size()),
+                 static_cast<int>(cc_.size()), static_cast<int>(cd.size()));
+
+  const int lab = sa.l + sb.l;
+  const int lcd = sc.l + sd.l;
+
+  for (std::size_t p1 = 0; p1 < sa.exponents.size(); ++p1) {
+    const double a = sa.exponents[p1];
+    for (std::size_t p2 = 0; p2 < sb.exponents.size(); ++p2) {
+      const double b = sb.exponents[p2];
+      const double p = a + b;
+      const double cab = sa.coefficients[p1] * sb.coefficients[p2];
+      const Vec3 pctr{(a * sa.center[0] + b * sb.center[0]) / p,
+                      (a * sa.center[1] + b * sb.center[1]) / p,
+                      (a * sa.center[2] + b * sb.center[2]) / p};
+      const HermiteE e1x(sa.l, sb.l, a, b, sa.center[0], sb.center[0]);
+      const HermiteE e1y(sa.l, sb.l, a, b, sa.center[1], sb.center[1]);
+      const HermiteE e1z(sa.l, sb.l, a, b, sa.center[2], sb.center[2]);
+
+      for (std::size_t p3 = 0; p3 < sc.exponents.size(); ++p3) {
+        const double c = sc.exponents[p3];
+        for (std::size_t p4 = 0; p4 < sd.exponents.size(); ++p4) {
+          const double d = sd.exponents[p4];
+          const double q = c + d;
+          const double ccd = sc.coefficients[p3] * sd.coefficients[p4];
+          const Vec3 qctr{(c * sc.center[0] + d * sd.center[0]) / q,
+                          (c * sc.center[1] + d * sd.center[1]) / q,
+                          (c * sc.center[2] + d * sd.center[2]) / q};
+          const HermiteE e2x(sc.l, sd.l, c, d, sc.center[0], sd.center[0]);
+          const HermiteE e2y(sc.l, sd.l, c, d, sc.center[1], sd.center[1]);
+          const HermiteE e2z(sc.l, sd.l, c, d, sc.center[2], sd.center[2]);
+
+          const double alpha = p * q / (p + q);
+          const Vec3 pq{pctr[0] - qctr[0], pctr[1] - qctr[1],
+                        pctr[2] - qctr[2]};
+          const HermiteR rtuv(lab + lcd, alpha, pq);
+          const double pref = 2.0 * std::pow(kPi, 2.5) /
+                              (p * q * std::sqrt(p + q)) * cab * ccd;
+
+          for (std::size_t ia = 0; ia < ca.size(); ++ia) {
+            for (std::size_t ib = 0; ib < cb.size(); ++ib) {
+              const auto& A = ca[ia];
+              const auto& B = cb[ib];
+              for (std::size_t ic = 0; ic < cc_.size(); ++ic) {
+                for (std::size_t id = 0; id < cd.size(); ++id) {
+                  const auto& C = cc_[ic];
+                  const auto& D = cd[id];
+                  double sum = 0.0;
+                  for (int t = 0; t <= A.lx + B.lx; ++t) {
+                    const double et = e1x(A.lx, B.lx, t);
+                    if (et == 0.0) continue;
+                    for (int u = 0; u <= A.ly + B.ly; ++u) {
+                      const double eu = e1y(A.ly, B.ly, u);
+                      if (eu == 0.0) continue;
+                      for (int v = 0; v <= A.lz + B.lz; ++v) {
+                        const double ev = e1z(A.lz, B.lz, v);
+                        if (ev == 0.0) continue;
+                        double inner = 0.0;
+                        for (int tau = 0; tau <= C.lx + D.lx; ++tau) {
+                          const double ft = e2x(C.lx, D.lx, tau);
+                          if (ft == 0.0) continue;
+                          for (int nu = 0; nu <= C.ly + D.ly; ++nu) {
+                            const double fu = e2y(C.ly, D.ly, nu);
+                            if (fu == 0.0) continue;
+                            for (int phi = 0; phi <= C.lz + D.lz; ++phi) {
+                              const double fv = e2z(C.lz, D.lz, phi);
+                              if (fv == 0.0) continue;
+                              const double sign =
+                                  ((tau + nu + phi) % 2 == 0) ? 1.0 : -1.0;
+                              inner += sign * ft * fu * fv *
+                                       rtuv(t + tau, u + nu, v + phi);
+                            }
+                          }
+                        }
+                        sum += et * eu * ev * inner;
+                      }
+                    }
+                  }
+                  block(static_cast<int>(ia), static_cast<int>(ib),
+                        static_cast<int>(ic), static_cast<int>(id)) +=
+                      pref * sum;
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Per-component contracted normalization.
+  auto norms = [](const Shell& s) {
+    const auto comps = cartesian_components(s.l);
+    std::vector<double> n(comps.size());
+    for (std::size_t i = 0; i < comps.size(); ++i) {
+      n[i] = s.component_norm(comps[i].lx, comps[i].ly, comps[i].lz);
+    }
+    return n;
+  };
+  const auto na = norms(sa), nb = norms(sb), nc = norms(sc), nd = norms(sd);
+  for (std::size_t ia = 0; ia < na.size(); ++ia) {
+    for (std::size_t ib = 0; ib < nb.size(); ++ib) {
+      for (std::size_t ic = 0; ic < nc.size(); ++ic) {
+        for (std::size_t id = 0; id < nd.size(); ++id) {
+          block(static_cast<int>(ia), static_cast<int>(ib),
+                static_cast<int>(ic), static_cast<int>(id)) *=
+              na[ia] * nb[ib] * nc[ic] * nd[id];
+        }
+      }
+    }
+  }
+  return block;
+}
+
+linalg::Matrix schwarz_matrix(const BasisSet& basis) {
+  const auto& shells = basis.shells();
+  linalg::Matrix q(shells.size(), shells.size());
+  for (std::size_t i = 0; i < shells.size(); ++i) {
+    for (std::size_t j = i; j < shells.size(); ++j) {
+      const EriBlock b =
+          eri_shell_quartet(shells[i], shells[j], shells[i], shells[j]);
+      double m = 0.0;
+      for (int fa = 0; fa < b.na(); ++fa) {
+        for (int fb = 0; fb < b.nb(); ++fb) {
+          m = std::max(m, std::abs(b(fa, fb, fa, fb)));
+        }
+      }
+      q(i, j) = q(j, i) = std::sqrt(m);
+    }
+  }
+  return q;
+}
+
+std::vector<double> full_eri_tensor(const BasisSet& basis) {
+  const auto n = static_cast<std::size_t>(basis.function_count());
+  std::vector<double> g(n * n * n * n, 0.0);
+  const auto& shells = basis.shells();
+
+  for (const Shell& si : shells) {
+    for (const Shell& sj : shells) {
+      for (const Shell& sk : shells) {
+        for (const Shell& sl : shells) {
+          const EriBlock b = eri_shell_quartet(si, sj, sk, sl);
+          for (int fa = 0; fa < b.na(); ++fa) {
+            for (int fb = 0; fb < b.nb(); ++fb) {
+              for (int fc = 0; fc < b.nc(); ++fc) {
+                for (int fd = 0; fd < b.nd(); ++fd) {
+                  const auto i =
+                      static_cast<std::size_t>(si.first_function + fa);
+                  const auto j =
+                      static_cast<std::size_t>(sj.first_function + fb);
+                  const auto k =
+                      static_cast<std::size_t>(sk.first_function + fc);
+                  const auto l =
+                      static_cast<std::size_t>(sl.first_function + fd);
+                  g[((i * n + j) * n + k) * n + l] = b(fa, fb, fc, fd);
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace emc::chem

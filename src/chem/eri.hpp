@@ -1,0 +1,68 @@
+#pragma once
+
+// Two-electron repulsion integrals (ab|cd) over contracted cartesian
+// shells (chemists' notation), McMurchie–Davidson scheme.
+//
+// These quartets are the dominant cost of Hartree–Fock and — because
+// their cost varies steeply with the shells' contraction depths, angular
+// momenta, and screening outcomes — they are the source of the task-cost
+// heterogeneity the paper's execution-model study revolves around.
+
+#include <cstddef>
+#include <vector>
+
+#include "chem/basis.hpp"
+#include "linalg/matrix.hpp"
+
+namespace emc::chem {
+
+/// Dense 4D quartet block with shape (na, nb, nc, nd) = the cartesian
+/// function counts of the four shells.
+class EriBlock {
+ public:
+  EriBlock(int na, int nb, int nc, int nd)
+      : na_(na), nb_(nb), nc_(nc), nd_(nd),
+        data_(static_cast<std::size_t>(na) * static_cast<std::size_t>(nb) *
+                  static_cast<std::size_t>(nc) * static_cast<std::size_t>(nd),
+              0.0) {}
+
+  double& operator()(int a, int b, int c, int d) {
+    return data_[offset(a, b, c, d)];
+  }
+  double operator()(int a, int b, int c, int d) const {
+    return data_[offset(a, b, c, d)];
+  }
+
+  int na() const { return na_; }
+  int nb() const { return nb_; }
+  int nc() const { return nc_; }
+  int nd() const { return nd_; }
+  double max_abs() const;
+
+ private:
+  std::size_t offset(int a, int b, int c, int d) const {
+    return ((static_cast<std::size_t>(a) * static_cast<std::size_t>(nb_) +
+             static_cast<std::size_t>(b)) *
+                static_cast<std::size_t>(nc_) +
+            static_cast<std::size_t>(c)) *
+               static_cast<std::size_t>(nd_) +
+           static_cast<std::size_t>(d);
+  }
+
+  int na_, nb_, nc_, nd_;
+  std::vector<double> data_;
+};
+
+/// Computes the contracted, normalized quartet (ab|cd).
+EriBlock eri_shell_quartet(const Shell& sa, const Shell& sb, const Shell& sc,
+                           const Shell& sd);
+
+/// Schwarz screening bounds: Q(i,j) = sqrt(max |(ij|ij)|) over the
+/// functions of shell pair (i, j); |(ab|cd)| <= Q(a,b) * Q(c,d).
+linalg::Matrix schwarz_matrix(const BasisSet& basis);
+
+/// Full AO ERI tensor (n^4 doubles) for small test systems.
+/// Index order: (ij|kl) at [((i*n + j)*n + k)*n + l].
+std::vector<double> full_eri_tensor(const BasisSet& basis);
+
+}  // namespace emc::chem

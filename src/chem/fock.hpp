@@ -1,0 +1,81 @@
+#pragma once
+
+// Fock-matrix construction and its task decomposition.
+//
+// The two-electron part of the Fock matrix, G(P), is assembled from shell
+// quartets (ij|kl) exploiting 8-fold permutational symmetry and Schwarz
+// screening. Work is decomposed the way the paper's SCF study does: one
+// *task* per canonical bra shell pair (i >= j); the task owns the loop
+// over all canonical ket pairs with pair rank <= its own. Task costs
+// therefore vary by orders of magnitude — the heterogeneity that drives
+// the execution-model comparison.
+
+#include <cstdint>
+#include <vector>
+
+#include "chem/basis.hpp"
+#include "chem/molecule.hpp"
+#include "linalg/matrix.hpp"
+
+namespace emc::chem {
+
+/// One unit of schedulable work: a canonical bra shell pair.
+struct ShellPairTask {
+  int si = 0;               ///< bra shell i (si >= sj)
+  int sj = 0;               ///< bra shell j
+  std::uint64_t rank = 0;   ///< canonical pair rank si*(si+1)/2 + sj
+};
+
+/// Canonical rank of an ordered shell pair (i >= j).
+inline std::uint64_t pair_rank(int i, int j) {
+  return static_cast<std::uint64_t>(i) * (static_cast<std::uint64_t>(i) + 1) /
+             2 +
+         static_cast<std::uint64_t>(j);
+}
+
+class FockBuilder {
+ public:
+  /// Precomputes Schwarz bounds for screening. `screen_threshold` is the
+  /// bound product below which a quartet is skipped (0 disables).
+  FockBuilder(const BasisSet& basis, double screen_threshold = 1e-10);
+
+  const BasisSet& basis() const { return *basis_; }
+  double screen_threshold() const { return screen_threshold_; }
+  const linalg::Matrix& schwarz() const { return schwarz_; }
+
+  /// All tasks in canonical (rank) order.
+  std::vector<ShellPairTask> make_tasks() const;
+
+  /// Executes one task: digests its quartets' J/K contributions against
+  /// `density` (the total RHF density P) into `j_accum` and `k_accum`.
+  /// Accumulators must be n x n; contributions are += so a caller may
+  /// merge partial results from many tasks.
+  void execute_task(const ShellPairTask& task, const linalg::Matrix& density,
+                    linalg::Matrix& j_accum, linalg::Matrix& k_accum) const;
+
+  /// Number of ket quartets the task would evaluate after screening;
+  /// proportional to its runtime. Used by load-balance inspectors.
+  std::uint64_t count_task_quartets(const ShellPairTask& task) const;
+
+  /// Analytic work estimate (flop-weighted, no density info): sum over
+  /// surviving quartets of the product of function counts and contraction
+  /// depths. Cheap enough to run as an inspector pass.
+  double estimate_task_cost(const ShellPairTask& task) const;
+
+  /// Full G(P) = J - K/2 built by running every task sequentially.
+  linalg::Matrix build_g(const linalg::Matrix& density) const;
+
+  /// Combines J/K accumulators into G = J - K/2 and symmetrizes.
+  static linalg::Matrix combine_jk(const linalg::Matrix& j_accum,
+                                   const linalg::Matrix& k_accum);
+
+ private:
+  template <typename QuartetFn>
+  void for_each_ket_pair(const ShellPairTask& task, QuartetFn&& fn) const;
+
+  const BasisSet* basis_;
+  double screen_threshold_;
+  linalg::Matrix schwarz_;
+};
+
+}  // namespace emc::chem

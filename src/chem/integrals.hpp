@@ -1,0 +1,93 @@
+#pragma once
+
+// One-electron Gaussian integrals (overlap, kinetic, nuclear attraction)
+// over contracted cartesian shells, via the McMurchie–Davidson scheme:
+// products of Gaussians are expanded in Hermite Gaussians whose moments
+// and Coulomb integrals obey simple recurrences.
+
+#include <vector>
+
+#include "chem/basis.hpp"
+#include "chem/molecule.hpp"
+#include "linalg/matrix.hpp"
+
+namespace emc::chem {
+
+/// Hermite expansion coefficients E_t^{ij} for the 1D product of
+/// x^i exp(-a (x-A)^2) and x^j exp(-b (x-B)^2); `t` runs 0..i+j.
+/// This is the workhorse recurrence shared by every integral type.
+class HermiteE {
+ public:
+  /// Precomputes E_t^{ij} for all i <= imax, j <= jmax.
+  HermiteE(int imax, int jmax, double a, double b, double ax, double bx);
+
+  double operator()(int i, int j, int t) const {
+    if (t < 0 || t > i + j) return 0.0;
+    return table_[index(i, j, t)];
+  }
+
+ private:
+  std::size_t index(int i, int j, int t) const {
+    return (static_cast<std::size_t>(i) * static_cast<std::size_t>(jmax_ + 1) +
+            static_cast<std::size_t>(j)) *
+               static_cast<std::size_t>(tmax_ + 1) +
+           static_cast<std::size_t>(t);
+  }
+
+  int imax_, jmax_, tmax_;
+  std::vector<double> table_;
+};
+
+/// Hermite Coulomb integrals R^0_{tuv}(p, PC) for t+u+v <= order.
+/// Flat accessor: r(t, u, v).
+class HermiteR {
+ public:
+  HermiteR(int order, double p, const Vec3& pc);
+
+  double operator()(int t, int u, int v) const {
+    return table_[index(t, u, v)];
+  }
+
+ private:
+  std::size_t index(int t, int u, int v) const {
+    const auto n = static_cast<std::size_t>(order_ + 1);
+    return (static_cast<std::size_t>(t) * n + static_cast<std::size_t>(u)) *
+               n +
+           static_cast<std::size_t>(v);
+  }
+
+  int order_;
+  std::vector<double> table_;
+};
+
+/// Overlap matrix S over all basis functions.
+linalg::Matrix overlap_matrix(const BasisSet& basis);
+
+/// Kinetic-energy matrix T.
+linalg::Matrix kinetic_matrix(const BasisSet& basis);
+
+/// Nuclear-attraction matrix V (sum over all nuclei of the molecule).
+linalg::Matrix nuclear_attraction_matrix(const BasisSet& basis,
+                                         const Molecule& molecule);
+
+/// Core Hamiltonian H = T + V.
+linalg::Matrix core_hamiltonian(const BasisSet& basis,
+                                const Molecule& molecule);
+
+/// Shell-pair block of the overlap matrix (rows = functions of `a`,
+/// cols = functions of `b`). Exposed for tests and for screening.
+linalg::Matrix shell_overlap(const Shell& a, const Shell& b);
+
+/// Electric-dipole integral matrices <mu| r - origin |nu>, one per
+/// cartesian direction.
+std::array<linalg::Matrix, 3> dipole_matrices(const BasisSet& basis,
+                                              const Vec3& origin = {});
+
+/// Molecular dipole moment (atomic units) for a total density P:
+/// mu = sum_A Z_A (R_A - O) - sum_{mu nu} P_{mu nu} <mu|r - O|nu>.
+/// Origin defaults to the coordinate origin; the value is
+/// origin-independent for neutral molecules.
+Vec3 dipole_moment(const linalg::Matrix& density, const BasisSet& basis,
+                   const Molecule& molecule, const Vec3& origin = {});
+
+}  // namespace emc::chem

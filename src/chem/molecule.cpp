@@ -1,0 +1,259 @@
+#include "chem/molecule.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "chem/constants.hpp"
+#include "chem/element.hpp"
+
+namespace emc::chem {
+
+void Molecule::add_atom_angstrom(const std::string& symbol, double x,
+                                 double y, double z_coord) {
+  atoms_.push_back(Atom{atomic_number(symbol),
+                        {x * kAngstromToBohr, y * kAngstromToBohr,
+                         z_coord * kAngstromToBohr}});
+}
+
+int Molecule::total_charge_z() const {
+  int q = 0;
+  for (const auto& a : atoms_) q += a.z;
+  return q;
+}
+
+int Molecule::electron_count(int net_charge) const {
+  return total_charge_z() - net_charge;
+}
+
+double Molecule::nuclear_repulsion() const {
+  double e = 0.0;
+  for (std::size_t i = 0; i < atoms_.size(); ++i) {
+    for (std::size_t j = i + 1; j < atoms_.size(); ++j) {
+      const auto& a = atoms_[i].xyz;
+      const auto& b = atoms_[j].xyz;
+      const double dx = a[0] - b[0], dy = a[1] - b[1], dz = a[2] - b[2];
+      const double r = std::sqrt(dx * dx + dy * dy + dz * dz);
+      e += static_cast<double>(atoms_[i].z) *
+           static_cast<double>(atoms_[j].z) / r;
+    }
+  }
+  return e;
+}
+
+std::string Molecule::to_string() const {
+  std::ostringstream os;
+  os << atoms_.size() << " atoms (coordinates in Bohr)\n";
+  for (const auto& a : atoms_) {
+    os << "  " << element_symbol(a.z) << "  " << a.xyz[0] << " " << a.xyz[1]
+       << " " << a.xyz[2] << "\n";
+  }
+  return os.str();
+}
+
+Molecule make_h2(double bond_bohr) {
+  Molecule m;
+  m.add_atom(1, 0.0, 0.0, 0.0);
+  m.add_atom(1, 0.0, 0.0, bond_bohr);
+  return m;
+}
+
+Molecule make_water() {
+  // Experimental geometry: r(OH) = 0.9572 A, angle HOH = 104.52 deg,
+  // oxygen at the origin, C2v axis along z.
+  Molecule m;
+  const double r = 0.9572;
+  const double half_angle = 104.52 / 2.0 * kPi / 180.0;
+  m.add_atom_angstrom("O", 0.0, 0.0, 0.0);
+  m.add_atom_angstrom("H", r * std::sin(half_angle), 0.0,
+                      r * std::cos(half_angle));
+  m.add_atom_angstrom("H", -r * std::sin(half_angle), 0.0,
+                      r * std::cos(half_angle));
+  return m;
+}
+
+Molecule make_methane() {
+  Molecule m;
+  const double d = 1.09 / std::sqrt(3.0);  // component of r(CH) per axis
+  m.add_atom_angstrom("C", 0.0, 0.0, 0.0);
+  m.add_atom_angstrom("H", d, d, d);
+  m.add_atom_angstrom("H", d, -d, -d);
+  m.add_atom_angstrom("H", -d, d, -d);
+  m.add_atom_angstrom("H", -d, -d, d);
+  return m;
+}
+
+namespace {
+
+/// Rotates `v` about the z then y axes by index-dependent deterministic
+/// angles, so cluster members have distinct orientations.
+Vec3 rotate_for_index(const Vec3& v, int index) {
+  const double az = 0.7 * static_cast<double>(index + 1);
+  const double ay = 1.3 * static_cast<double>(index + 1);
+  const double cz = std::cos(az), sz = std::sin(az);
+  const double cy = std::cos(ay), sy = std::sin(ay);
+  // Rz
+  const double x1 = cz * v[0] - sz * v[1];
+  const double y1 = sz * v[0] + cz * v[1];
+  const double z1 = v[2];
+  // Ry
+  return Vec3{cy * x1 + sy * z1, y1, -sy * x1 + cy * z1};
+}
+
+}  // namespace
+
+Molecule make_water_cluster(int n) {
+  if (n < 1) throw std::invalid_argument("make_water_cluster: n < 1");
+  const Molecule monomer = make_water();
+  const double spacing = 3.0 * kAngstromToBohr;
+
+  // Smallest cube that holds n molecules.
+  int side = 1;
+  while (side * side * side < n) ++side;
+
+  Molecule cluster;
+  int placed = 0;
+  for (int ix = 0; ix < side && placed < n; ++ix) {
+    for (int iy = 0; iy < side && placed < n; ++iy) {
+      for (int iz = 0; iz < side && placed < n; ++iz) {
+        const Vec3 origin{spacing * ix, spacing * iy, spacing * iz};
+        for (const auto& atom : monomer.atoms()) {
+          const Vec3 r = rotate_for_index(atom.xyz, placed);
+          cluster.add_atom(atom.z, origin[0] + r[0], origin[1] + r[1],
+                           origin[2] + r[2]);
+        }
+        ++placed;
+      }
+    }
+  }
+  return cluster;
+}
+
+Molecule make_alkane(int n_carbons) {
+  if (n_carbons < 1) throw std::invalid_argument("make_alkane: n < 1");
+
+  const double rcc = 1.54 * kAngstromToBohr;
+  const double rch = 1.09 * kAngstromToBohr;
+  // Tetrahedral half-angle between the backbone direction and bonds.
+  const double theta = 109.47122 / 2.0 * kPi / 180.0;
+  const double dz = rcc * std::cos(theta);   // backbone advance per C
+  const double dx = rcc * std::sin(theta);   // zig-zag amplitude
+
+  Molecule m;
+  std::vector<Vec3> carbons(static_cast<std::size_t>(n_carbons));
+  for (int i = 0; i < n_carbons; ++i) {
+    carbons[static_cast<std::size_t>(i)] =
+        Vec3{(i % 2 == 0) ? 0.0 : dx, 0.0, dz * i};
+    m.add_atom(6, carbons[static_cast<std::size_t>(i)][0], 0.0, dz * i);
+  }
+
+  // Two hydrogens per carbon, in the plane perpendicular to the backbone
+  // zig-zag; terminal carbons receive one extra hydrogen along the chain.
+  const double hy = rch * std::sin(theta);
+  const double hx = rch * std::cos(theta);
+  for (int i = 0; i < n_carbons; ++i) {
+    const auto& c = carbons[static_cast<std::size_t>(i)];
+    const double flip = (i % 2 == 0) ? -1.0 : 1.0;
+    m.add_atom(1, c[0] + flip * hx, hy, c[2]);
+    m.add_atom(1, c[0] + flip * hx, -hy, c[2]);
+  }
+  {
+    const auto& first = carbons.front();
+    m.add_atom(1, first[0] + dx * 0.35, 0.0, first[2] - rch * 0.94);
+    const auto& last = carbons.back();
+    const double flip = ((n_carbons - 1) % 2 == 0) ? 1.0 : -1.0;
+    m.add_atom(1, last[0] + flip * dx * 0.35, 0.0, last[2] + rch * 0.94);
+  }
+  return m;
+}
+
+Molecule make_benzene() {
+  Molecule m;
+  const double rcc = 1.39;  // ring radius equals the CC bond length
+  const double rch = 1.09;
+  for (int i = 0; i < 6; ++i) {
+    const double angle = kPi / 3.0 * static_cast<double>(i);
+    const double cx = std::cos(angle), cy = std::sin(angle);
+    m.add_atom_angstrom("C", rcc * cx, rcc * cy, 0.0);
+    m.add_atom_angstrom("H", (rcc + rch) * cx, (rcc + rch) * cy, 0.0);
+  }
+  return m;
+}
+
+Molecule make_named_molecule(const std::string& name) {
+  if (name == "h2") return make_h2();
+  if (name == "water") return make_water();
+  if (name == "methane") return make_methane();
+  if (name == "benzene") return make_benzene();
+
+  auto parse_suffix = [&](const std::string& prefix) -> int {
+    const std::string digits = name.substr(prefix.size());
+    if (digits.empty()) return -1;
+    for (char ch : digits) {
+      if (ch < '0' || ch > '9') return -1;
+    }
+    return std::stoi(digits);
+  };
+
+  if (name.rfind("water", 0) == 0) {
+    const int n = parse_suffix("water");
+    if (n > 0) return make_water_cluster(n);
+  }
+  if (name.rfind("alkane", 0) == 0) {
+    const int n = parse_suffix("alkane");
+    if (n > 0) return make_alkane(n);
+  }
+  throw std::invalid_argument("make_named_molecule: unknown molecule '" +
+                              name + "'");
+}
+
+Molecule parse_xyz(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+
+  if (!std::getline(is, line)) {
+    throw std::invalid_argument("parse_xyz: empty input");
+  }
+  int count = 0;
+  try {
+    count = std::stoi(line);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("parse_xyz: bad atom count line: " + line);
+  }
+  if (count < 1) throw std::invalid_argument("parse_xyz: atom count < 1");
+  if (!std::getline(is, line)) {
+    throw std::invalid_argument("parse_xyz: missing comment line");
+  }
+
+  Molecule m;
+  for (int i = 0; i < count; ++i) {
+    if (!std::getline(is, line)) {
+      throw std::invalid_argument("parse_xyz: expected " +
+                                  std::to_string(count) + " atoms, got " +
+                                  std::to_string(i));
+    }
+    std::istringstream row(line);
+    std::string symbol;
+    double x = 0.0, y = 0.0, z = 0.0;
+    if (!(row >> symbol >> x >> y >> z)) {
+      throw std::invalid_argument("parse_xyz: malformed atom line: " + line);
+    }
+    m.add_atom_angstrom(symbol, x, y, z);
+  }
+  return m;
+}
+
+std::string to_xyz(const Molecule& molecule, const std::string& comment) {
+  std::ostringstream os;
+  os << molecule.size() << "\n" << comment << "\n";
+  os << std::fixed << std::setprecision(8);
+  for (const Atom& a : molecule.atoms()) {
+    os << element_symbol(a.z) << " " << a.xyz[0] * kBohrToAngstrom << " "
+       << a.xyz[1] * kBohrToAngstrom << " " << a.xyz[2] * kBohrToAngstrom
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace emc::chem

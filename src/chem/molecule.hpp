@@ -1,0 +1,85 @@
+#pragma once
+
+// Molecular geometry: atoms with positions in Bohr, plus deterministic
+// synthetic-molecule generators used as scalable workloads (water
+// clusters, alkane chains), mirroring the growing problem sizes used in
+// the paper's evaluation.
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace emc::chem {
+
+/// Cartesian coordinate triple in Bohr.
+using Vec3 = std::array<double, 3>;
+
+struct Atom {
+  int z = 0;      ///< atomic number
+  Vec3 xyz{};     ///< position (Bohr)
+};
+
+class Molecule {
+ public:
+  Molecule() = default;
+  explicit Molecule(std::vector<Atom> atoms) : atoms_(std::move(atoms)) {}
+
+  void add_atom(int z, double x, double y, double z_coord) {
+    atoms_.push_back(Atom{z, {x, y, z_coord}});
+  }
+  /// Adds an atom with coordinates given in Angstrom.
+  void add_atom_angstrom(const std::string& symbol, double x, double y,
+                         double z_coord);
+
+  const std::vector<Atom>& atoms() const { return atoms_; }
+  std::size_t size() const { return atoms_.size(); }
+
+  /// Total nuclear charge.
+  int total_charge_z() const;
+  /// Number of electrons for a species with the given net charge.
+  int electron_count(int net_charge = 0) const;
+
+  /// Nuclear-nuclear repulsion energy (Hartree).
+  double nuclear_repulsion() const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<Atom> atoms_;
+};
+
+/// H2 at the given bond length (Bohr); default is the classic 1.4 a0.
+Molecule make_h2(double bond_bohr = 1.4);
+
+/// Water monomer at the experimental gas-phase geometry.
+Molecule make_water();
+
+/// Methane (CH4), tetrahedral, r(CH)=1.09 Angstrom.
+Molecule make_methane();
+
+/// Cluster of `n` water molecules placed on a cubic grid with ~3 Angstrom
+/// spacing and per-molecule deterministic rotation; a standard scalable
+/// HF workload with irregular shell-pair structure.
+Molecule make_water_cluster(int n);
+
+/// Linear alkane C(n)H(2n+2) in an all-anti zig-zag conformation.
+Molecule make_alkane(int n_carbons);
+
+/// Benzene (C6H6), planar D6h, r(CC)=1.39 A, r(CH)=1.09 A.
+Molecule make_benzene();
+
+/// Looks up a named workload: "h2", "water", "methane", "water<k>"
+/// (e.g. "water4"), "alkane<k>" (e.g. "alkane6").
+/// Throws std::invalid_argument for unknown names.
+Molecule make_named_molecule(const std::string& name);
+
+/// Parses standard XYZ text (count line, comment line, then
+/// "Symbol x y z" rows with coordinates in Angstrom).
+/// Throws std::invalid_argument on malformed input.
+Molecule parse_xyz(const std::string& text);
+
+/// Renders the molecule as XYZ text (Angstrom) with the given comment.
+std::string to_xyz(const Molecule& molecule,
+                   const std::string& comment = "");
+
+}  // namespace emc::chem

@@ -1,0 +1,109 @@
+#include "chem/mp2.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "chem/eri.hpp"
+#include "chem/integrals.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/eigen.hpp"
+
+namespace emc::chem {
+
+namespace {
+
+using linalg::Matrix;
+
+/// One quarter transformation: contracts the first index of `tensor`
+/// (treated as [n][rest]) with MO coefficients and cycles the index
+/// order, so four applications yield the fully transformed tensor.
+std::vector<double> quarter_transform(const std::vector<double>& tensor,
+                                      const Matrix& c, std::size_t n) {
+  const std::size_t rest = n * n * n;
+  std::vector<double> out(tensor.size(), 0.0);
+  // out[q][rest] = sum_p C(p, q) * tensor[p][rest], then transpose the
+  // leading index to the back so the next call transforms the next one.
+  for (std::size_t q = 0; q < n; ++q) {
+    for (std::size_t p = 0; p < n; ++p) {
+      const double cpq = c(p, q);
+      if (cpq == 0.0) continue;
+      const double* src = tensor.data() + p * rest;
+      double* dst = out.data() + q * rest;
+      for (std::size_t r = 0; r < rest; ++r) dst[r] += cpq * src[r];
+    }
+  }
+  // Cycle: [q][nu][la][si] -> [nu][la][si][q].
+  std::vector<double> cycled(tensor.size());
+  for (std::size_t q = 0; q < n; ++q) {
+    for (std::size_t r = 0; r < rest; ++r) {
+      cycled[r * n + q] = out[q * rest + r];
+    }
+  }
+  return cycled;
+}
+
+}  // namespace
+
+Mp2Result run_mp2(const Molecule& molecule, const BasisSet& basis,
+                  const ScfOptions& scf_options) {
+  const ScfResult scf = run_rhf(molecule, basis, scf_options);
+  if (!scf.converged) {
+    throw std::invalid_argument("run_mp2: RHF reference did not converge");
+  }
+
+  const auto n = static_cast<std::size_t>(basis.function_count());
+  const int n_occ = molecule.electron_count(scf_options.net_charge) / 2;
+  const int n_virt = basis.function_count() - n_occ;
+  Mp2Result result;
+  result.total_energy = scf.energy;
+  if (n_virt == 0) return result;  // no correlation space
+
+  // Recover canonical orbitals from the converged Fock matrix.
+  const Matrix s = overlap_matrix(basis);
+  const Matrix x = linalg::inverse_sqrt(s);
+  linalg::EigenResult eig =
+      linalg::eigen_symmetric(linalg::congruence(x, scf.fock));
+  const Matrix c = linalg::matmul(x, eig.vectors);
+  const std::vector<double>& eps = eig.values;
+
+  // AO ERI tensor -> MO basis via four quarter transformations.
+  std::vector<double> mo = full_eri_tensor(basis);
+  for (int quarter = 0; quarter < 4; ++quarter) {
+    mo = quarter_transform(mo, c, n);
+  }
+  const auto at = [&mo, n](int p, int q, int r, int s2) {
+    return mo[((static_cast<std::size_t>(p) * n +
+                static_cast<std::size_t>(q)) *
+                   n +
+               static_cast<std::size_t>(r)) *
+                  n +
+              static_cast<std::size_t>(s2)];
+  };
+
+  // E(2) = sum_ijab (ia|jb) [2 (ia|jb) - (ib|ja)] / (ei + ej - ea - eb).
+  double os = 0.0, ss = 0.0;
+  for (int i = 0; i < n_occ; ++i) {
+    for (int j = 0; j < n_occ; ++j) {
+      for (int a = n_occ; a < basis.function_count(); ++a) {
+        for (int b = n_occ; b < basis.function_count(); ++b) {
+          const double iajb = at(i, a, j, b);
+          const double ibja = at(i, b, j, a);
+          const double denom =
+              eps[static_cast<std::size_t>(i)] +
+              eps[static_cast<std::size_t>(j)] -
+              eps[static_cast<std::size_t>(a)] -
+              eps[static_cast<std::size_t>(b)];
+          os += iajb * iajb / denom;
+          ss += iajb * (iajb - ibja) / denom;
+        }
+      }
+    }
+  }
+  result.opposite_spin = os;
+  result.same_spin = ss;
+  result.correlation_energy = os + ss;
+  result.total_energy = scf.energy + result.correlation_energy;
+  return result;
+}
+
+}  // namespace emc::chem

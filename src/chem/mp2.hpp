@@ -1,0 +1,28 @@
+#pragma once
+
+// Second-order Møller-Plesset perturbation theory on top of a converged
+// RHF reference. The AO->MO integral transformation is done as four
+// quarter-transformations (O(n^5)); fine for the molecule sizes this
+// library targets and a second, differently-shaped kernel for the
+// execution-model studies (transformation work units are dense GEMM-like
+// rather than sparse quartet digestion).
+
+#include "chem/basis.hpp"
+#include "chem/molecule.hpp"
+#include "chem/scf.hpp"
+
+namespace emc::chem {
+
+struct Mp2Result {
+  double correlation_energy = 0.0;   ///< E(2), always <= 0
+  double total_energy = 0.0;         ///< E(RHF) + E(2)
+  double same_spin = 0.0;            ///< SS component (for SCS-MP2)
+  double opposite_spin = 0.0;        ///< OS component
+};
+
+/// Computes the MP2 correlation energy from a converged RHF result.
+/// Throws std::invalid_argument if the reference did not converge.
+Mp2Result run_mp2(const Molecule& molecule, const BasisSet& basis,
+                  const ScfOptions& scf_options = {});
+
+}  // namespace emc::chem

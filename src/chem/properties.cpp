@@ -1,0 +1,133 @@
+#include "chem/properties.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "chem/integrals.hpp"
+#include "linalg/blas.hpp"
+
+namespace emc::chem {
+
+std::vector<double> mulliken_charges(const linalg::Matrix& density,
+                                     const BasisSet& basis,
+                                     const Molecule& molecule) {
+  const linalg::Matrix s = overlap_matrix(basis);
+  const linalg::Matrix ps = linalg::matmul(density, s);
+
+  std::vector<double> charges(molecule.size());
+  for (std::size_t a = 0; a < molecule.size(); ++a) {
+    charges[a] = static_cast<double>(molecule.atoms()[a].z);
+  }
+  for (const Shell& shell : basis.shells()) {
+    const auto atom = static_cast<std::size_t>(shell.atom_index);
+    for (int f = 0; f < shell.function_count(); ++f) {
+      const auto i = static_cast<std::size_t>(shell.first_function + f);
+      charges[atom] -= ps(i, i);
+    }
+  }
+  return charges;
+}
+
+namespace {
+
+double energy_at(const Molecule& molecule, const std::string& basis_name,
+                 const ScfOptions& options) {
+  const BasisSet basis = BasisSet::build(molecule, basis_name);
+  const ScfResult r = run_rhf(molecule, basis, options);
+  if (!r.converged) {
+    throw std::runtime_error("optimize: SCF did not converge at a "
+                             "displaced geometry");
+  }
+  return r.energy;
+}
+
+Molecule displaced(const Molecule& m, std::size_t atom, int dim,
+                   double delta) {
+  Molecule out = m;
+  std::vector<Atom> atoms = out.atoms();
+  Molecule rebuilt;
+  for (std::size_t a = 0; a < atoms.size(); ++a) {
+    Vec3 xyz = atoms[a].xyz;
+    if (a == atom) xyz[static_cast<std::size_t>(dim)] += delta;
+    rebuilt.add_atom(atoms[a].z, xyz[0], xyz[1], xyz[2]);
+  }
+  return rebuilt;
+}
+
+}  // namespace
+
+std::vector<Vec3> numerical_gradient(const Molecule& molecule,
+                                     const std::string& basis_name,
+                                     const ScfOptions& options,
+                                     double step) {
+  std::vector<Vec3> grad(molecule.size(), Vec3{});
+  for (std::size_t a = 0; a < molecule.size(); ++a) {
+    for (int d = 0; d < 3; ++d) {
+      const double plus =
+          energy_at(displaced(molecule, a, d, step), basis_name, options);
+      const double minus =
+          energy_at(displaced(molecule, a, d, -step), basis_name, options);
+      grad[a][static_cast<std::size_t>(d)] =
+          (plus - minus) / (2.0 * step);
+    }
+  }
+  return grad;
+}
+
+OptimizeResult optimize_geometry(const Molecule& start,
+                                 const std::string& basis_name,
+                                 const OptimizeOptions& options) {
+  OptimizeResult result;
+  result.geometry = start;
+  result.energy = energy_at(start, basis_name, options.scf);
+
+  double step = options.initial_step;
+  for (int iter = 0; iter < options.max_steps; ++iter) {
+    const auto grad = numerical_gradient(result.geometry, basis_name,
+                                         options.scf, options.fd_step);
+    double gmax = 0.0;
+    for (const Vec3& g : grad) {
+      for (double component : g) {
+        gmax = std::max(gmax, std::abs(component));
+      }
+    }
+    result.gradient_norm = gmax;
+    result.steps = iter;
+    if (gmax < options.gradient_tolerance) {
+      result.converged = true;
+      return result;
+    }
+
+    // Steepest descent with backtracking: halve the step until the
+    // energy actually drops.
+    bool improved = false;
+    for (int attempt = 0; attempt < 12; ++attempt) {
+      Molecule trial;
+      for (std::size_t a = 0; a < result.geometry.size(); ++a) {
+        const Atom& atom = result.geometry.atoms()[a];
+        trial.add_atom(atom.z, atom.xyz[0] - step * grad[a][0],
+                       atom.xyz[1] - step * grad[a][1],
+                       atom.xyz[2] - step * grad[a][2]);
+      }
+      const double trial_energy =
+          energy_at(trial, basis_name, options.scf);
+      if (trial_energy < result.energy) {
+        result.geometry = std::move(trial);
+        result.energy = trial_energy;
+        improved = true;
+        step *= 1.2;  // tentative growth after success
+        break;
+      }
+      step *= 0.5;
+    }
+    if (!improved) {
+      // Line search exhausted: we are at (numerical) stationarity.
+      result.converged = result.gradient_norm <
+                         10.0 * options.gradient_tolerance;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace emc::chem

@@ -1,0 +1,50 @@
+#pragma once
+
+// Derived molecular properties: Mulliken population analysis and
+// numerical geometry optimization on the RHF surface.
+
+#include <vector>
+
+#include "chem/basis.hpp"
+#include "chem/molecule.hpp"
+#include "chem/scf.hpp"
+
+namespace emc::chem {
+
+/// Mulliken atomic partial charges: q_A = Z_A - sum_{mu in A} (P S)_mumu.
+/// Charges sum to the molecule's net charge.
+std::vector<double> mulliken_charges(const linalg::Matrix& density,
+                                     const BasisSet& basis,
+                                     const Molecule& molecule);
+
+/// Nuclear gradient of the RHF energy by central finite differences
+/// (rebuilds the basis at each displaced geometry). Returns dE/dR in
+/// Hartree/Bohr, one Vec3 per atom.
+std::vector<Vec3> numerical_gradient(const Molecule& molecule,
+                                     const std::string& basis_name,
+                                     const ScfOptions& options = {},
+                                     double step = 1e-3);
+
+struct OptimizeOptions {
+  int max_steps = 50;
+  double gradient_tolerance = 1e-4;  ///< max |dE/dR| component
+  double initial_step = 0.5;         ///< steepest-descent step (Bohr^2/Eh)
+  ScfOptions scf;
+  double fd_step = 1e-3;
+};
+
+struct OptimizeResult {
+  bool converged = false;
+  int steps = 0;
+  double energy = 0.0;
+  double gradient_norm = 0.0;   ///< max-abs component at the final point
+  Molecule geometry;
+};
+
+/// Steepest-descent geometry optimization with backtracking line search
+/// on the RHF surface. Intended for the small molecules in this library.
+OptimizeResult optimize_geometry(const Molecule& start,
+                                 const std::string& basis_name,
+                                 const OptimizeOptions& options = {});
+
+}  // namespace emc::chem

@@ -1,0 +1,56 @@
+#pragma once
+
+// Restricted Hartree–Fock driver with DIIS convergence acceleration.
+//
+// This is the reference (sequential) implementation of the kernel whose
+// parallel execution the rest of the library studies; the parallel
+// executors must reproduce its Fock matrices bit-for-bit up to summation
+// order.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "chem/basis.hpp"
+#include "chem/fock.hpp"
+#include "chem/molecule.hpp"
+#include "linalg/matrix.hpp"
+
+namespace emc::chem {
+
+struct ScfOptions {
+  int max_iterations = 100;
+  double energy_tolerance = 1e-9;     ///< |dE| convergence threshold
+  double error_tolerance = 1e-6;      ///< DIIS error norm threshold
+  int diis_size = 8;                  ///< history length (0 disables DIIS)
+  double screen_threshold = 1e-10;    ///< Schwarz screening
+  int net_charge = 0;
+};
+
+struct ScfResult {
+  bool converged = false;
+  int iterations = 0;
+  double energy = 0.0;              ///< total (electronic + nuclear)
+  double electronic_energy = 0.0;
+  double nuclear_repulsion = 0.0;
+  double kinetic_energy = 0.0;      ///< tr(P T), for virial checks
+  std::vector<double> orbital_energies;
+  linalg::Matrix density;           ///< converged total density P
+  linalg::Matrix fock;              ///< converged Fock matrix
+};
+
+/// Pluggable G(P) builder so parallel executors can be swapped in for
+/// the two-electron build while reusing the SCF iteration logic.
+using GBuilder =
+    std::function<linalg::Matrix(const linalg::Matrix& density)>;
+
+/// Runs RHF using the default sequential Fock builder.
+ScfResult run_rhf(const Molecule& molecule, const BasisSet& basis,
+                  const ScfOptions& options = {});
+
+/// Runs RHF with a caller-supplied two-electron G(P) builder.
+ScfResult run_rhf_with_builder(const Molecule& molecule,
+                               const BasisSet& basis, const GBuilder& g,
+                               const ScfOptions& options = {});
+
+}  // namespace emc::chem

@@ -1,0 +1,257 @@
+#include "chem/uhf.hpp"
+
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+
+#include "chem/fock.hpp"
+#include "chem/integrals.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/eigen.hpp"
+#include "linalg/factor.hpp"
+#include "util/log.hpp"
+
+namespace emc::chem {
+
+namespace {
+
+using linalg::Matrix;
+
+Matrix symmetrized(const Matrix& m) {
+  Matrix s = m;
+  s += m.transposed();
+  s *= 0.5;
+  return s;
+}
+
+double trace_product(const Matrix& a, const Matrix& b) {
+  double t = 0.0;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) t += a(r, c) * b(c, r);
+  }
+  return t;
+}
+
+/// Spin-orbital density with occupation 1: P = C_occ C_occ^T.
+Matrix spin_density(const Matrix& c, int n_occ) {
+  const std::size_t n = c.rows();
+  Matrix p(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t s = 0; s < n; ++s) {
+      double v = 0.0;
+      for (int o = 0; o < n_occ; ++o) {
+        v += c(r, static_cast<std::size_t>(o)) *
+             c(s, static_cast<std::size_t>(o));
+      }
+      p(r, s) = v;
+    }
+  }
+  return p;
+}
+
+/// DIIS over paired (F_a, F_b) with stacked error metric.
+class UhfDiis {
+ public:
+  explicit UhfDiis(int capacity) : capacity_(capacity) {}
+
+  void push(Matrix fa, Matrix fb, Matrix ea, Matrix eb) {
+    fa_.push_back(std::move(fa));
+    fb_.push_back(std::move(fb));
+    ea_.push_back(std::move(ea));
+    eb_.push_back(std::move(eb));
+    if (static_cast<int>(fa_.size()) > capacity_) {
+      fa_.pop_front();
+      fb_.pop_front();
+      ea_.pop_front();
+      eb_.pop_front();
+    }
+  }
+
+  bool ready() const { return fa_.size() >= 2; }
+
+  std::pair<Matrix, Matrix> extrapolate() const {
+    const std::size_t m = fa_.size();
+    Matrix b(m + 1, m + 1);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < m; ++j) {
+        b(i, j) = inner(ea_[i], ea_[j]) + inner(eb_[i], eb_[j]);
+      }
+      b(i, m) = b(m, i) = -1.0;
+    }
+    std::vector<double> rhs(m + 1, 0.0);
+    rhs.back() = -1.0;
+
+    std::vector<double> coeff;
+    try {
+      coeff = linalg::solve(b, rhs);
+    } catch (const std::runtime_error&) {
+      return {fa_.back(), fb_.back()};
+    }
+    Matrix fa(fa_.back().rows(), fa_.back().cols());
+    Matrix fb = fa;
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t r = 0; r < fa.rows(); ++r) {
+        for (std::size_t c = 0; c < fa.cols(); ++c) {
+          fa(r, c) += coeff[i] * fa_[i](r, c);
+          fb(r, c) += coeff[i] * fb_[i](r, c);
+        }
+      }
+    }
+    return {fa, fb};
+  }
+
+ private:
+  static double inner(const Matrix& x, const Matrix& y) {
+    double s = 0.0;
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      for (std::size_t c = 0; c < x.cols(); ++c) s += x(r, c) * y(r, c);
+    }
+    return s;
+  }
+
+  int capacity_;
+  std::deque<Matrix> fa_, fb_, ea_, eb_;
+};
+
+}  // namespace
+
+UhfResult run_uhf(const Molecule& molecule, const BasisSet& basis,
+                  const UhfOptions& options) {
+  const int n_electrons = molecule.electron_count(options.net_charge);
+  const int excess = options.multiplicity - 1;
+  if (excess < 0 || (n_electrons - excess) % 2 != 0 ||
+      n_electrons - excess < 0) {
+    throw std::invalid_argument(
+        "run_uhf: multiplicity " + std::to_string(options.multiplicity) +
+        " inconsistent with " + std::to_string(n_electrons) + " electrons");
+  }
+  const int n_beta = (n_electrons - excess) / 2;
+  const int n_alpha = n_beta + excess;
+  if (n_alpha > basis.function_count()) {
+    throw std::invalid_argument("run_uhf: basis too small");
+  }
+
+  const Matrix s = overlap_matrix(basis);
+  const Matrix h = core_hamiltonian(basis, molecule);
+  const Matrix x = linalg::inverse_sqrt(s);
+  const FockBuilder builder(basis, options.screen_threshold);
+  const auto tasks = builder.make_tasks();
+  const auto n = static_cast<std::size_t>(basis.function_count());
+
+  auto solve_roothaan = [&](const Matrix& f) {
+    linalg::EigenResult eig =
+        linalg::eigen_symmetric(linalg::congruence(x, f));
+    return std::pair<Matrix, std::vector<double>>(
+        linalg::matmul(x, eig.vectors), std::move(eig.values));
+  };
+
+  // Core guess, with optional alpha/beta symmetry breaking by mixing the
+  // beta HOMO and LUMO.
+  auto [c0, eps0] = solve_roothaan(h);
+  Matrix ca = c0, cb = c0;
+  if (options.guess_mix != 0.0 && n_beta >= 1 &&
+      n_beta < basis.function_count()) {
+    const auto homo = static_cast<std::size_t>(n_beta - 1);
+    const auto lumo = static_cast<std::size_t>(n_beta);
+    const double mix = options.guess_mix;
+    const double norm = 1.0 / std::sqrt(1.0 + mix * mix);
+    for (std::size_t r = 0; r < n; ++r) {
+      const double old_homo = cb(r, homo);
+      cb(r, homo) = norm * (old_homo + mix * cb(r, lumo));
+    }
+  }
+  Matrix pa = spin_density(ca, n_alpha);
+  Matrix pb = spin_density(cb, n_beta);
+
+  /// J/K for one spin density via the shared task machinery.
+  auto jk_of = [&](const Matrix& p) {
+    Matrix j(n, n), k(n, n);
+    for (const auto& task : tasks) {
+      builder.execute_task(task, p, j, k);
+    }
+    return std::pair<Matrix, Matrix>(symmetrized(j), symmetrized(k));
+  };
+
+  UhfDiis diis(8);
+  UhfResult result;
+  result.n_alpha = n_alpha;
+  result.n_beta = n_beta;
+  result.nuclear_repulsion = molecule.nuclear_repulsion();
+
+  std::vector<double> eps_a, eps_b;
+  double prev_energy = 0.0;
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    auto [ja, ka] = jk_of(pa);
+    auto [jb, kb] = jk_of(pb);
+
+    Matrix fa = h;
+    fa += ja;
+    fa += jb;
+    fa -= ka;
+    Matrix fb = h;
+    fb += ja;
+    fb += jb;
+    fb -= kb;
+
+    Matrix p_total = pa;
+    p_total += pb;
+    const double e_elec = 0.5 * (trace_product(p_total, h) +
+                                 trace_product(pa, fa) +
+                                 trace_product(pb, fb));
+
+    auto diis_error = [&](const Matrix& f, const Matrix& p) {
+      const Matrix fps = linalg::matmul(f, linalg::matmul(p, s));
+      Matrix err = fps;
+      err -= fps.transposed();
+      return linalg::congruence(x, err);
+    };
+    Matrix ea = diis_error(fa, pa);
+    Matrix eb = diis_error(fb, pb);
+    const double err_norm = std::max(ea.max_abs(), eb.max_abs());
+
+    diis.push(fa, fb, std::move(ea), std::move(eb));
+    if (diis.ready()) {
+      std::tie(fa, fb) = diis.extrapolate();
+    }
+
+    std::tie(ca, eps_a) = solve_roothaan(fa);
+    std::tie(cb, eps_b) = solve_roothaan(fb);
+    pa = spin_density(ca, n_alpha);
+    pb = spin_density(cb, n_beta);
+
+    const double delta_e = e_elec - prev_energy;
+    prev_energy = e_elec;
+    EMC_LOG(kDebug) << "uhf iter " << iter << " E=" << e_elec
+                    << " dE=" << delta_e << " |err|=" << err_norm;
+    result.iterations = iter;
+    result.electronic_energy = e_elec;
+    if (iter > 1 && std::abs(delta_e) < options.energy_tolerance &&
+        err_norm < options.error_tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // <S^2> = S_z(S_z + 1) + N_b - sum_ij |<phi_i^a | phi_j^b>|^2.
+  const double sz = 0.5 * static_cast<double>(n_alpha - n_beta);
+  double overlap_sum = 0.0;
+  const Matrix sab = linalg::matmul(
+      ca.transposed(), linalg::matmul(s, cb));  // MO cross overlaps
+  for (int i = 0; i < n_alpha; ++i) {
+    for (int j = 0; j < n_beta; ++j) {
+      const double o = sab(static_cast<std::size_t>(i),
+                           static_cast<std::size_t>(j));
+      overlap_sum += o * o;
+    }
+  }
+  result.s_squared = sz * (sz + 1.0) + static_cast<double>(n_beta) -
+                     overlap_sum;
+  result.energy = result.electronic_energy + result.nuclear_repulsion;
+  result.alpha_orbital_energies = std::move(eps_a);
+  result.beta_orbital_energies = std::move(eps_b);
+  result.density_alpha = std::move(pa);
+  result.density_beta = std::move(pb);
+  return result;
+}
+
+}  // namespace emc::chem

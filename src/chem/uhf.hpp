@@ -1,0 +1,53 @@
+#pragma once
+
+// Unrestricted Hartree-Fock for open-shell systems. Spin-alpha and
+// spin-beta orbitals are optimized independently:
+//
+//   F_a = H + J(P_a + P_b) - K(P_a),   F_b likewise.
+//
+// The two-electron work reuses the same shell-pair task machinery as
+// RHF; each UHF iteration executes the task list once per spin density,
+// so every parallel executor studied in this library applies unchanged.
+
+#include "chem/basis.hpp"
+#include "chem/molecule.hpp"
+#include "chem/scf.hpp"
+#include "linalg/matrix.hpp"
+
+namespace emc::chem {
+
+struct UhfOptions {
+  int max_iterations = 200;
+  double energy_tolerance = 1e-9;
+  double error_tolerance = 1e-6;
+  double screen_threshold = 1e-10;
+  int net_charge = 0;
+  /// 2S+1; 1 = singlet, 2 = doublet, ... Electron parity must match.
+  int multiplicity = 1;
+  /// Mixing factor applied to the beta HOMO/LUMO guess to break
+  /// alpha/beta symmetry for singlet diradicals (0 disables).
+  double guess_mix = 0.0;
+};
+
+struct UhfResult {
+  bool converged = false;
+  int iterations = 0;
+  double energy = 0.0;
+  double electronic_energy = 0.0;
+  double nuclear_repulsion = 0.0;
+  int n_alpha = 0;
+  int n_beta = 0;
+  /// <S^2> expectation value; (S(S+1)) for a pure spin state.
+  double s_squared = 0.0;
+  std::vector<double> alpha_orbital_energies;
+  std::vector<double> beta_orbital_energies;
+  linalg::Matrix density_alpha;  ///< P_a (occupation 1 per spin orbital)
+  linalg::Matrix density_beta;
+};
+
+/// Runs UHF. Throws std::invalid_argument if charge/multiplicity are
+/// inconsistent with the electron count.
+UhfResult run_uhf(const Molecule& molecule, const BasisSet& basis,
+                  const UhfOptions& options = {});
+
+}  // namespace emc::chem

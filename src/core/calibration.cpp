@@ -1,0 +1,73 @@
+#include "core/calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace emc::core {
+
+namespace {
+
+double pearson_of(std::span<const double> a, std::span<const double> b) {
+  const auto n = static_cast<double>(a.size());
+  double ma = 0.0, mb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= n;
+  mb /= n;
+  double num = 0.0, da = 0.0, db = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double xa = a[i] - ma, xb = b[i] - mb;
+    num += xa * xb;
+    da += xa * xa;
+    db += xb * xb;
+  }
+  if (da == 0.0 || db == 0.0) return 0.0;
+  return num / std::sqrt(da * db);
+}
+
+std::vector<double> ranks_of(std::span<const double> v) {
+  std::vector<std::size_t> idx(v.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::sort(idx.begin(), idx.end(),
+            [&](std::size_t a, std::size_t b) { return v[a] < v[b]; });
+  std::vector<double> r(v.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    r[idx[i]] = static_cast<double>(i);
+  }
+  return r;
+}
+
+}  // namespace
+
+CalibrationReport calibrate_cost_model(std::span<const double> estimated,
+                                       std::span<const double> measured) {
+  if (estimated.size() != measured.size()) {
+    throw std::invalid_argument("calibrate_cost_model: size mismatch");
+  }
+  if (estimated.empty()) {
+    throw std::invalid_argument("calibrate_cost_model: empty input");
+  }
+
+  // Least squares through the origin: scale = <e, m> / <e, e>.
+  double em = 0.0, ee = 0.0;
+  for (std::size_t i = 0; i < estimated.size(); ++i) {
+    em += estimated[i] * measured[i];
+    ee += estimated[i] * estimated[i];
+  }
+
+  CalibrationReport report;
+  report.samples = estimated.size();
+  report.scale = ee > 0.0 ? em / ee : 0.0;
+  report.pearson = pearson_of(estimated, measured);
+  const auto ra = ranks_of(estimated);
+  const auto rb = ranks_of(measured);
+  report.spearman = pearson_of(ra, rb);
+  return report;
+}
+
+}  // namespace emc::core

@@ -1,0 +1,24 @@
+#pragma once
+
+// Cost-model calibration: relate the analytic (flop-unit) task-cost
+// estimates to wall-time measurements of the real kernel, producing the
+// scale factor the simulator uses and a quality report.
+
+#include <span>
+
+namespace emc::core {
+
+struct CalibrationReport {
+  double scale = 0.0;       ///< least-squares seconds per analytic unit
+  double pearson = 0.0;     ///< linear correlation of the two vectors
+  double spearman = 0.0;    ///< rank correlation
+  std::size_t samples = 0;
+};
+
+/// Fits measured ~ scale * estimated (no intercept, least squares) and
+/// reports correlation quality. Throws std::invalid_argument on size
+/// mismatch or empty input.
+CalibrationReport calibrate_cost_model(std::span<const double> estimated,
+                                       std::span<const double> measured);
+
+}  // namespace emc::core

@@ -1,0 +1,120 @@
+#include "core/distributed_fock.hpp"
+
+#include <stdexcept>
+
+#include "lb/simple.hpp"
+
+namespace emc::core {
+
+DistributedFockBuilder::DistributedFockBuilder(
+    const chem::BasisSet& basis, pgas::Runtime& runtime,
+    DistributedFockOptions options)
+    : basis_(&basis), runtime_(&runtime), options_(std::move(options)),
+      fock_(basis, options_.screen_threshold), tasks_(fock_.make_tasks()) {}
+
+lb::Assignment DistributedFockBuilder::initial_assignment() const {
+  const int ranks = runtime_->size();
+  if (options_.static_balancer == "block") {
+    return lb::block_assignment(tasks_.size(), ranks);
+  }
+  if (options_.static_balancer == "cyclic") {
+    return lb::cyclic_assignment(tasks_.size(), ranks);
+  }
+  if (options_.static_balancer == "lpt") {
+    std::vector<double> costs;
+    costs.reserve(tasks_.size());
+    for (const auto& task : tasks_) {
+      costs.push_back(fock_.estimate_task_cost(task));
+    }
+    return lb::lpt_assignment(costs, ranks);
+  }
+  throw std::invalid_argument(
+      "DistributedFockBuilder: unknown static balancer '" +
+      options_.static_balancer + "'");
+}
+
+linalg::Matrix DistributedFockBuilder::build_g(
+    const linalg::Matrix& density) {
+  const auto n = static_cast<std::size_t>(basis_->function_count());
+  if (density.rows() != n || density.cols() != n) {
+    throw std::invalid_argument("build_g: density shape mismatch");
+  }
+  const int ranks = runtime_->size();
+
+  // Publish the density; ranks will fetch it one-sided.
+  pgas::GlobalArray density_ga(n, n, ranks);
+  density_ga.put(0, 0, 0, n, n,
+                 std::span<const double>(density.data(), n * n),
+                 pgas::CommCostModel{});
+  pgas::GlobalArray j_ga(n, n, ranks);
+  pgas::GlobalArray k_ga(n, n, ranks);
+
+  const lb::Assignment assignment = initial_assignment();
+  const auto n_tasks = static_cast<std::int64_t>(tasks_.size());
+
+  // Per-rank working state allocated up front so the SPMD body can use
+  // it without synchronization.
+  std::vector<linalg::Matrix> local_density(
+      static_cast<std::size_t>(ranks), linalg::Matrix(n, n));
+  std::vector<linalg::Matrix> local_j(static_cast<std::size_t>(ranks),
+                                      linalg::Matrix(n, n));
+  std::vector<linalg::Matrix> local_k(static_cast<std::size_t>(ranks),
+                                      linalg::Matrix(n, n));
+
+  const exec::TaskBody body = [&](std::int64_t t, int rank) {
+    const auto ru = static_cast<std::size_t>(rank);
+    fock_.execute_task(tasks_[static_cast<std::size_t>(t)],
+                       local_density[ru], local_j[ru], local_k[ru]);
+  };
+
+  // Phase 1 (inside each scheduler's SPMD region is not possible here —
+  // schedulers own the region), so fetch + accumulate are their own SPMD
+  // phases around the scheduled execution. This mirrors GA codes:
+  // GA_Get(P) ... do work ... GA_Acc(F) with barriers between phases.
+  runtime_->run([&](pgas::Context& ctx) {
+    const auto ru = static_cast<std::size_t>(ctx.rank());
+    density_ga.get(ctx.rank(), 0, 0, n, n,
+                   std::span<double>(local_density[ru].data(), n * n),
+                   ctx.cost_model());
+  });
+
+  switch (options_.model) {
+    case ExecModel::kStatic:
+      last_stats_ = exec::run_static(*runtime_, n_tasks, assignment, body);
+      break;
+    case ExecModel::kCounter:
+      last_stats_ = exec::run_counter(*runtime_, n_tasks,
+                                      options_.counter_chunk, body);
+      break;
+    case ExecModel::kWorkStealing:
+      last_stats_ = exec::run_work_stealing(*runtime_, n_tasks, assignment,
+                                            body, options_.steal);
+      break;
+  }
+
+  runtime_->run([&](pgas::Context& ctx) {
+    const auto ru = static_cast<std::size_t>(ctx.rank());
+    j_ga.accumulate(ctx.rank(), 0, 0, n, n,
+                    std::span<const double>(local_j[ru].data(), n * n),
+                    ctx.cost_model());
+    k_ga.accumulate(ctx.rank(), 0, 0, n, n,
+                    std::span<const double>(local_k[ru].data(), n * n),
+                    ctx.cost_model());
+  });
+
+  linalg::Matrix j_total(n, n), k_total(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      j_total(r, c) = j_ga.at(r, c);
+      k_total(r, c) = k_ga.at(r, c);
+    }
+  }
+  ++builds_;
+  return chem::FockBuilder::combine_jk(j_total, k_total);
+}
+
+chem::GBuilder DistributedFockBuilder::as_g_builder() {
+  return [this](const linalg::Matrix& density) { return build_g(density); };
+}
+
+}  // namespace emc::core

@@ -1,0 +1,224 @@
+#include "exec/schedulers.hpp"
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+
+#include "exec/ws_deque.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace emc::exec {
+
+std::int64_t ExecutionStats::total_tasks() const {
+  std::int64_t n = 0;
+  for (const auto& r : ranks) n += r.tasks_executed;
+  return n;
+}
+
+std::int64_t ExecutionStats::total_steals() const {
+  std::int64_t n = 0;
+  for (const auto& r : ranks) n += r.steals;
+  return n;
+}
+
+double ExecutionStats::utilization() const {
+  if (ranks.empty() || wall_seconds <= 0.0) return 0.0;
+  double busy = 0.0;
+  for (const auto& r : ranks) busy += r.busy_seconds;
+  return busy / (wall_seconds * static_cast<double>(ranks.size()));
+}
+
+namespace {
+
+void check_task_count(std::int64_t n_tasks) {
+  if (n_tasks < 0) throw std::invalid_argument("scheduler: n_tasks < 0");
+}
+
+}  // namespace
+
+ExecutionStats run_static(pgas::Runtime& runtime, std::int64_t n_tasks,
+                          const lb::Assignment& assignment,
+                          const TaskBody& body) {
+  check_task_count(n_tasks);
+  if (static_cast<std::int64_t>(assignment.size()) != n_tasks) {
+    throw std::invalid_argument("run_static: assignment size mismatch");
+  }
+  lb::validate_assignment(assignment, runtime.size());
+
+  ExecutionStats stats;
+  stats.ranks.resize(static_cast<std::size_t>(runtime.size()));
+  emc::Timer wall;
+
+  runtime.run([&](pgas::Context& ctx) {
+    RankStats& mine = stats.ranks[static_cast<std::size_t>(ctx.rank())];
+    emc::Timer busy;
+    for (std::int64_t t = 0; t < n_tasks; ++t) {
+      if (assignment[static_cast<std::size_t>(t)] != ctx.rank()) continue;
+      busy.reset();
+      body(t, ctx.rank());
+      mine.busy_seconds += busy.seconds();
+      ++mine.tasks_executed;
+    }
+  });
+
+  stats.wall_seconds = wall.seconds();
+  return stats;
+}
+
+ExecutionStats run_counter(pgas::Runtime& runtime, std::int64_t n_tasks,
+                           std::int64_t chunk, const TaskBody& body) {
+  check_task_count(n_tasks);
+  if (chunk < 1) throw std::invalid_argument("run_counter: chunk < 1");
+
+  ExecutionStats stats;
+  stats.ranks.resize(static_cast<std::size_t>(runtime.size()));
+  pgas::GlobalCounter counter(0);
+  std::atomic<bool> aborted{false};
+  emc::Timer wall;
+
+  runtime.run([&](pgas::Context& ctx) {
+    RankStats& mine = stats.ranks[static_cast<std::size_t>(ctx.rank())];
+    emc::Timer busy;
+    while (!aborted.load(std::memory_order_relaxed)) {
+      const std::int64_t first = counter.fetch_add(chunk, ctx.cost_model());
+      ++mine.counter_ops;
+      if (first >= n_tasks) break;
+      const std::int64_t last = std::min(first + chunk, n_tasks);
+      for (std::int64_t t = first; t < last; ++t) {
+        busy.reset();
+        try {
+          body(t, ctx.rank());
+        } catch (...) {
+          // Unblock the other ranks before propagating.
+          aborted.store(true, std::memory_order_relaxed);
+          throw;
+        }
+        mine.busy_seconds += busy.seconds();
+        ++mine.tasks_executed;
+      }
+    }
+  });
+
+  stats.wall_seconds = wall.seconds();
+  return stats;
+}
+
+ExecutionStats run_work_stealing(pgas::Runtime& runtime,
+                                 std::int64_t n_tasks,
+                                 const lb::Assignment& initial,
+                                 const TaskBody& body,
+                                 const WorkStealingOptions& options,
+                                 std::vector<int>* executed_by) {
+  check_task_count(n_tasks);
+  if (static_cast<std::int64_t>(initial.size()) != n_tasks) {
+    throw std::invalid_argument("run_work_stealing: assignment mismatch");
+  }
+  const int n_ranks = runtime.size();
+  lb::validate_assignment(initial, n_ranks);
+
+  ExecutionStats stats;
+  stats.ranks.resize(static_cast<std::size_t>(n_ranks));
+  if (executed_by != nullptr) {
+    executed_by->assign(static_cast<std::size_t>(n_tasks), -1);
+  }
+
+  // One deque per rank, each able to hold every task (steals can migrate
+  // arbitrarily many tasks to one rank).
+  std::vector<std::unique_ptr<WsDeque>> deques;
+  deques.reserve(static_cast<std::size_t>(n_ranks));
+  for (int r = 0; r < n_ranks; ++r) {
+    deques.push_back(std::make_unique<WsDeque>(
+        static_cast<std::size_t>(std::max<std::int64_t>(n_tasks, 1))));
+  }
+  std::atomic<std::int64_t> remaining(n_tasks);
+  std::atomic<bool> aborted{false};
+  emc::Timer wall;
+
+  runtime.run([&](pgas::Context& ctx) {
+    const int rank = ctx.rank();
+    RankStats& mine = stats.ranks[static_cast<std::size_t>(rank)];
+    WsDeque& my_deque = *deques[static_cast<std::size_t>(rank)];
+    emc::Rng rng(options.seed ^
+                 (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(rank + 1)));
+
+    // Seed the deque with this rank's initial tasks (reverse order so
+    // pop() executes them in ascending index order).
+    for (std::int64_t t = n_tasks - 1; t >= 0; --t) {
+      if (initial[static_cast<std::size_t>(t)] == rank) my_deque.push(t);
+    }
+    ctx.barrier();
+
+    emc::Timer busy;
+    auto execute = [&](std::int64_t t) {
+      busy.reset();
+      try {
+        body(t, rank);
+      } catch (...) {
+        // Unblock spinning thieves before propagating.
+        aborted.store(true, std::memory_order_relaxed);
+        throw;
+      }
+      mine.busy_seconds += busy.seconds();
+      ++mine.tasks_executed;
+      if (executed_by != nullptr) {
+        (*executed_by)[static_cast<std::size_t>(t)] = rank;
+      }
+      remaining.fetch_sub(1, std::memory_order_relaxed);
+    };
+
+    while (remaining.load(std::memory_order_relaxed) > 0 &&
+           !aborted.load(std::memory_order_relaxed)) {
+      if (auto t = my_deque.pop()) {
+        execute(*t);
+        continue;
+      }
+      if (n_ranks == 1) continue;
+      // Idle: pick a random victim and attempt a steal round trip.
+      const int victim = static_cast<int>(
+          rng.below(static_cast<std::uint64_t>(n_ranks - 1)));
+      const int victim_rank = victim >= rank ? victim + 1 : victim;
+      WsDeque& vd = *deques[static_cast<std::size_t>(victim_rank)];
+      ++mine.steal_attempts;
+      pgas::inject_delay(ctx.cost_model().remote_ns);
+
+      if (auto stolen = vd.steal()) {
+        ++mine.steals;
+        if (options.steal_half) {
+          // Migrate up to half of the victim's remaining queue, then run
+          // the first stolen task.
+          std::int64_t extra = vd.size_estimate() / 2;
+          while (extra-- > 0) {
+            if (auto more = vd.steal()) {
+              my_deque.push(*more);
+            } else {
+              break;
+            }
+          }
+        }
+        execute(*stolen);
+      }
+    }
+  });
+
+  stats.wall_seconds = wall.seconds();
+  return stats;
+}
+
+std::vector<ExecutionStats> run_retentive_work_stealing(
+    pgas::Runtime& runtime, std::int64_t n_tasks,
+    const lb::Assignment& initial, const TaskBody& body, int iterations,
+    const WorkStealingOptions& options) {
+  std::vector<ExecutionStats> per_round;
+  lb::Assignment current = initial;
+  std::vector<int> executed_by;
+  for (int round = 0; round < iterations; ++round) {
+    per_round.push_back(run_work_stealing(runtime, n_tasks, current, body,
+                                          options, &executed_by));
+    // Retention: next round starts where the steals moved the work.
+    current.assign(executed_by.begin(), executed_by.end());
+  }
+  return per_round;
+}
+
+}  // namespace emc::exec

@@ -1,0 +1,77 @@
+#pragma once
+
+// The execution models under study, as real multithreaded schedulers over
+// the PGAS runtime:
+//
+//   * static       — tasks pre-assigned; no runtime redistribution
+//   * counter      — GA-nxtval dynamic chunked self-scheduling
+//   * work stealing — per-rank Chase–Lev deques, random victims
+//   * retentive WS — iterative work stealing that re-seeds each iteration
+//                    with the previous iteration's final task placement
+//
+// Each scheduler executes the same abstract task list and returns per-rank
+// accounting so benches can report utilization and overhead anatomy.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "lb/partition.hpp"
+#include "pgas/runtime.hpp"
+
+namespace emc::exec {
+
+/// Task body: invoked exactly once per task index, on the executing rank.
+using TaskBody = std::function<void(std::int64_t task, int rank)>;
+
+struct RankStats {
+  std::int64_t tasks_executed = 0;
+  double busy_seconds = 0.0;        ///< time inside task bodies
+  std::int64_t steal_attempts = 0;
+  std::int64_t steals = 0;          ///< successful steals
+  std::int64_t counter_ops = 0;
+};
+
+struct ExecutionStats {
+  double wall_seconds = 0.0;
+  std::vector<RankStats> ranks;
+
+  std::int64_t total_tasks() const;
+  std::int64_t total_steals() const;
+  /// Mean over ranks of busy/wall — the utilization metric of EXP-3.
+  double utilization() const;
+};
+
+/// Runs tasks under a fixed assignment (assignment[t] = rank).
+ExecutionStats run_static(pgas::Runtime& runtime, std::int64_t n_tasks,
+                          const lb::Assignment& assignment,
+                          const TaskBody& body);
+
+/// Runs tasks via a shared global counter; each grab takes `chunk` tasks.
+ExecutionStats run_counter(pgas::Runtime& runtime, std::int64_t n_tasks,
+                           std::int64_t chunk, const TaskBody& body);
+
+struct WorkStealingOptions {
+  bool steal_half = true;    ///< steal half the victim's queue vs one task
+  std::uint64_t seed = 7;    ///< victim-selection RNG seed
+};
+
+/// Work stealing from an initial assignment. If `executed_by` is non-null
+/// it receives, per task, the rank that ran it (for retentive reuse).
+ExecutionStats run_work_stealing(pgas::Runtime& runtime,
+                                 std::int64_t n_tasks,
+                                 const lb::Assignment& initial,
+                                 const TaskBody& body,
+                                 const WorkStealingOptions& options = {},
+                                 std::vector<int>* executed_by = nullptr);
+
+/// Runs `iterations` rounds of the same task list (an SCF-like iterative
+/// kernel). Round 1 starts from `initial`; each later round starts from
+/// where the previous round's steals left the tasks. Returns stats per
+/// round.
+std::vector<ExecutionStats> run_retentive_work_stealing(
+    pgas::Runtime& runtime, std::int64_t n_tasks,
+    const lb::Assignment& initial, const TaskBody& body, int iterations,
+    const WorkStealingOptions& options = {});
+
+}  // namespace emc::exec

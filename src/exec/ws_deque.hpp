@@ -1,0 +1,94 @@
+#pragma once
+
+// Chase–Lev work-stealing deque (fixed capacity), after Chase & Lev
+// (SPAA'05) with the C11 memory-order treatment of Lê et al. (PPoPP'13).
+//
+// The owner pushes and pops at the bottom without contention; thieves
+// steal from the top with a CAS. Capacity is fixed at construction —
+// callers size it to the total task count, which bounds any rank's queue.
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace emc::exec {
+
+class WsDeque {
+ public:
+  explicit WsDeque(std::size_t capacity)
+      : buffer_(capacity), top_(0), bottom_(0) {}
+
+  WsDeque(const WsDeque&) = delete;
+  WsDeque& operator=(const WsDeque&) = delete;
+
+  /// Owner-only. Returns false if the deque is full.
+  bool push(std::int64_t value) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    if (b - t >= static_cast<std::int64_t>(buffer_.size())) return false;
+    buffer_[index(b)].store(value, std::memory_order_relaxed);
+    // Publish the element before making it visible to thieves.
+    bottom_.store(b + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Owner-only. Takes the most recently pushed element.
+  std::optional<std::int64_t> pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+
+    if (t > b) {  // deque was empty
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    std::int64_t value = buffer_[index(b)].load(std::memory_order_relaxed);
+    if (t == b) {
+      // Last element: race against thieves via CAS on top.
+      if (!top_.compare_exchange_strong(t, t + 1,
+                                        std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        value = -1;  // lost the race
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return std::nullopt;
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return value;
+  }
+
+  /// Thief-side. Takes the oldest element, or nullopt if empty/raced.
+  std::optional<std::int64_t> steal() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return std::nullopt;
+    const std::int64_t value =
+        buffer_[index(t)].load(std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return std::nullopt;  // lost to another thief or the owner
+    }
+    return value;
+  }
+
+  /// Approximate size (safe to call concurrently; may be stale).
+  std::int64_t size_estimate() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? b - t : 0;
+  }
+
+ private:
+  std::size_t index(std::int64_t i) const {
+    return static_cast<std::size_t>(i) % buffer_.size();
+  }
+
+  std::vector<std::atomic<std::int64_t>> buffer_;
+  std::atomic<std::int64_t> top_;
+  std::atomic<std::int64_t> bottom_;
+};
+
+}  // namespace emc::exec

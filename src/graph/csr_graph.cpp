@@ -1,0 +1,70 @@
+#include "graph/csr_graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace emc::graph {
+
+CsrGraph::Builder::Builder(VertexId n_vertices)
+    : n_(n_vertices), adj_(static_cast<std::size_t>(n_vertices)),
+      vertex_weights_(static_cast<std::size_t>(n_vertices), 1.0) {
+  if (n_vertices < 0) {
+    throw std::invalid_argument("CsrGraph: negative vertex count");
+  }
+}
+
+void CsrGraph::Builder::add_edge(VertexId u, VertexId v, double weight) {
+  if (u < 0 || v < 0 || u >= n_ || v >= n_) {
+    throw std::out_of_range("CsrGraph: edge endpoint out of range");
+  }
+  if (u == v) throw std::invalid_argument("CsrGraph: self-loop rejected");
+  adj_[static_cast<std::size_t>(u)].emplace_back(v, weight);
+  adj_[static_cast<std::size_t>(v)].emplace_back(u, weight);
+}
+
+void CsrGraph::Builder::set_vertex_weight(VertexId v, double w) {
+  vertex_weights_.at(static_cast<std::size_t>(v)) = w;
+}
+
+CsrGraph CsrGraph::Builder::build() {
+  CsrGraph g;
+  g.vertex_weights_ = std::move(vertex_weights_);
+  g.offsets_.resize(static_cast<std::size_t>(n_) + 1, 0);
+
+  // Sort each adjacency list and merge duplicate targets (sum weights).
+  for (auto& list : adj_) {
+    std::sort(list.begin(), list.end());
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < list.size();) {
+      VertexId tgt = list[i].first;
+      double w = 0.0;
+      while (i < list.size() && list[i].first == tgt) {
+        w += list[i].second;
+        ++i;
+      }
+      list[out++] = {tgt, w};
+    }
+    list.resize(out);
+  }
+
+  for (std::size_t v = 0; v < adj_.size(); ++v) {
+    g.offsets_[v + 1] = g.offsets_[v] + adj_[v].size();
+  }
+  g.targets_.reserve(g.offsets_.back());
+  g.weights_.reserve(g.offsets_.back());
+  for (const auto& list : adj_) {
+    for (const auto& [tgt, w] : list) {
+      g.targets_.push_back(tgt);
+      g.weights_.push_back(w);
+    }
+  }
+  return g;
+}
+
+double CsrGraph::total_vertex_weight() const {
+  double s = 0.0;
+  for (double w : vertex_weights_) s += w;
+  return s;
+}
+
+}  // namespace emc::graph

@@ -1,0 +1,61 @@
+#pragma once
+
+// Compressed-sparse-row undirected graph with vertex and edge weights.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace emc::graph {
+
+using VertexId = std::int32_t;
+
+/// Immutable CSR graph. Build through Builder (handles dedup/symmetry).
+class CsrGraph {
+ public:
+  class Builder {
+   public:
+    explicit Builder(VertexId n_vertices);
+
+    /// Adds an undirected edge; duplicate (u,v) insertions accumulate
+    /// weight. Self-loops are rejected.
+    void add_edge(VertexId u, VertexId v, double weight = 1.0);
+    void set_vertex_weight(VertexId v, double w);
+
+    CsrGraph build();
+
+   private:
+    VertexId n_;
+    std::vector<std::vector<std::pair<VertexId, double>>> adj_;
+    std::vector<double> vertex_weights_;
+  };
+
+  VertexId vertex_count() const {
+    return static_cast<VertexId>(offsets_.size()) - 1;
+  }
+  std::size_t edge_count() const { return targets_.size() / 2; }
+
+  std::span<const VertexId> neighbors(VertexId v) const {
+    return {targets_.data() + offsets_[static_cast<std::size_t>(v)],
+            targets_.data() + offsets_[static_cast<std::size_t>(v) + 1]};
+  }
+  std::span<const double> edge_weights(VertexId v) const {
+    return {weights_.data() + offsets_[static_cast<std::size_t>(v)],
+            weights_.data() + offsets_[static_cast<std::size_t>(v) + 1]};
+  }
+  double vertex_weight(VertexId v) const {
+    return vertex_weights_[static_cast<std::size_t>(v)];
+  }
+  std::size_t degree(VertexId v) const { return neighbors(v).size(); }
+  double total_vertex_weight() const;
+
+ private:
+  CsrGraph() = default;
+
+  std::vector<std::size_t> offsets_;
+  std::vector<VertexId> targets_;
+  std::vector<double> weights_;
+  std::vector<double> vertex_weights_;
+};
+
+}  // namespace emc::graph

@@ -1,0 +1,56 @@
+#include "graph/generators.hpp"
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace emc::graph {
+
+CsrGraph make_grid_graph(int rows, int cols) {
+  if (rows < 1 || cols < 1) {
+    throw std::invalid_argument("make_grid_graph: empty grid");
+  }
+  CsrGraph::Builder b(rows * cols);
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return b.build();
+}
+
+CsrGraph make_random_graph(VertexId n, double p, emc::Rng& rng) {
+  CsrGraph::Builder b(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      if (rng.uniform() < p) b.add_edge(u, v);
+    }
+  }
+  return b.build();
+}
+
+Hypergraph make_random_hypergraph(VertexId n_vertices, NetId n_nets,
+                                  int pins_per_net, double w_lo, double w_hi,
+                                  emc::Rng& rng) {
+  if (pins_per_net > n_vertices) {
+    throw std::invalid_argument("make_random_hypergraph: too many pins");
+  }
+  Hypergraph::Builder b(n_vertices);
+  const double log_lo = std::log(w_lo), log_hi = std::log(w_hi);
+  for (VertexId v = 0; v < n_vertices; ++v) {
+    b.set_vertex_weight(v, std::exp(rng.uniform(log_lo, log_hi)));
+  }
+  for (NetId e = 0; e < n_nets; ++e) {
+    std::set<VertexId> pins;
+    while (static_cast<int>(pins.size()) < pins_per_net) {
+      pins.insert(static_cast<VertexId>(
+          rng.below(static_cast<std::uint64_t>(n_vertices))));
+    }
+    b.add_net(std::vector<VertexId>(pins.begin(), pins.end()));
+  }
+  return b.build();
+}
+
+}  // namespace emc::graph

@@ -1,0 +1,24 @@
+#pragma once
+
+// Synthetic graph/hypergraph generators for tests and benchmarks.
+
+#include "graph/csr_graph.hpp"
+#include "graph/hypergraph.hpp"
+#include "util/rng.hpp"
+
+namespace emc::graph {
+
+/// 2D grid graph (rows x cols), 4-neighbor connectivity.
+CsrGraph make_grid_graph(int rows, int cols);
+
+/// Erdos–Renyi G(n, p) with deterministic seed.
+CsrGraph make_random_graph(VertexId n, double p, emc::Rng& rng);
+
+/// Random k-uniform hypergraph: `n_nets` nets of `pins_per_net` distinct
+/// pins each, vertex weights drawn log-uniformly in [w_lo, w_hi] to mimic
+/// heavy-tailed task costs.
+Hypergraph make_random_hypergraph(VertexId n_vertices, NetId n_nets,
+                                  int pins_per_net, double w_lo, double w_hi,
+                                  emc::Rng& rng);
+
+}  // namespace emc::graph

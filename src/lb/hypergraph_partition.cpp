@@ -1,0 +1,521 @@
+#include "lb/hypergraph_partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace emc::lb {
+
+namespace {
+
+using graph::Hypergraph;
+using graph::NetId;
+using graph::VertexId;
+
+/// Working (mutable) hypergraph representation used inside the
+/// multilevel pipeline.
+struct WorkHg {
+  std::vector<std::vector<VertexId>> nets;
+  std::vector<double> net_weights;
+  std::vector<std::vector<NetId>> vertex_nets;
+  std::vector<double> vertex_weights;
+
+  VertexId vertex_count() const {
+    return static_cast<VertexId>(vertex_weights.size());
+  }
+
+  static WorkHg from(const Hypergraph& h) {
+    WorkHg w;
+    w.vertex_weights.resize(static_cast<std::size_t>(h.vertex_count()));
+    for (VertexId v = 0; v < h.vertex_count(); ++v) {
+      w.vertex_weights[static_cast<std::size_t>(v)] = h.vertex_weight(v);
+    }
+    w.nets.resize(static_cast<std::size_t>(h.net_count()));
+    w.net_weights.resize(static_cast<std::size_t>(h.net_count()));
+    for (NetId e = 0; e < h.net_count(); ++e) {
+      const auto pins = h.pins(e);
+      w.nets[static_cast<std::size_t>(e)].assign(pins.begin(), pins.end());
+      w.net_weights[static_cast<std::size_t>(e)] = h.net_weight(e);
+    }
+    w.rebuild_vertex_nets();
+    return w;
+  }
+
+  void rebuild_vertex_nets() {
+    vertex_nets.assign(vertex_weights.size(), {});
+    for (std::size_t e = 0; e < nets.size(); ++e) {
+      for (VertexId v : nets[e]) {
+        vertex_nets[static_cast<std::size_t>(v)].push_back(
+            static_cast<NetId>(e));
+      }
+    }
+  }
+};
+
+/// One coarsening step: connectivity matching. Returns the coarse graph
+/// and the fine->coarse vertex map; match[v] pairs v with at most one
+/// other vertex sharing a net, preferring high total shared net weight
+/// scaled by net size.
+struct CoarseLevel {
+  WorkHg coarse;
+  std::vector<VertexId> fine_to_coarse;
+};
+
+CoarseLevel coarsen_once(const WorkHg& fine, emc::Rng& rng) {
+  const auto n = static_cast<std::size_t>(fine.vertex_count());
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), VertexId{0});
+  // Deterministic shuffle for matching order.
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(order[i - 1], order[rng.below(i)]);
+  }
+
+  std::vector<VertexId> match(n, -1);
+  std::vector<double> score(n, 0.0);
+  std::vector<VertexId> touched;
+  for (VertexId v : order) {
+    const auto vu = static_cast<std::size_t>(v);
+    if (match[vu] >= 0) continue;
+    touched.clear();
+    for (NetId e : fine.vertex_nets[vu]) {
+      const auto& pins = fine.nets[static_cast<std::size_t>(e)];
+      if (pins.size() < 2 || pins.size() > 64) continue;  // skip huge nets
+      const double w = fine.net_weights[static_cast<std::size_t>(e)] /
+                       static_cast<double>(pins.size() - 1);
+      for (VertexId u : pins) {
+        const auto uu = static_cast<std::size_t>(u);
+        if (u == v || match[uu] >= 0) continue;
+        if (score[uu] == 0.0) touched.push_back(u);
+        score[uu] += w;
+      }
+    }
+    VertexId best = -1;
+    double best_score = 0.0;
+    for (VertexId u : touched) {
+      const auto uu = static_cast<std::size_t>(u);
+      if (score[uu] > best_score) {
+        best_score = score[uu];
+        best = u;
+      }
+      score[uu] = 0.0;
+    }
+    if (best >= 0) {
+      match[vu] = best;
+      match[static_cast<std::size_t>(best)] = v;
+    }
+  }
+
+  CoarseLevel level;
+  level.fine_to_coarse.assign(n, -1);
+  VertexId next = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (level.fine_to_coarse[v] >= 0) continue;
+    level.fine_to_coarse[v] = next;
+    if (match[v] >= 0) {
+      level.fine_to_coarse[static_cast<std::size_t>(match[v])] = next;
+    }
+    ++next;
+  }
+
+  WorkHg& coarse = level.coarse;
+  coarse.vertex_weights.assign(static_cast<std::size_t>(next), 0.0);
+  for (std::size_t v = 0; v < n; ++v) {
+    coarse.vertex_weights[static_cast<std::size_t>(
+        level.fine_to_coarse[v])] += fine.vertex_weights[v];
+  }
+
+  // Project nets; drop singletons; merge identical pin sets.
+  std::map<std::vector<VertexId>, double> merged;
+  std::vector<VertexId> proj;
+  for (std::size_t e = 0; e < fine.nets.size(); ++e) {
+    proj.clear();
+    for (VertexId v : fine.nets[e]) {
+      proj.push_back(level.fine_to_coarse[static_cast<std::size_t>(v)]);
+    }
+    std::sort(proj.begin(), proj.end());
+    proj.erase(std::unique(proj.begin(), proj.end()), proj.end());
+    if (proj.size() < 2) continue;
+    merged[proj] += fine.net_weights[e];
+  }
+  coarse.nets.reserve(merged.size());
+  coarse.net_weights.reserve(merged.size());
+  for (auto& [pins, w] : merged) {
+    coarse.nets.push_back(pins);
+    coarse.net_weights.push_back(w);
+  }
+  coarse.rebuild_vertex_nets();
+  return level;
+}
+
+/// Greedy growth initial bisection: BFS from a random seed accumulating
+/// vertices into part 0 until it holds `target0` weight.
+std::vector<int> initial_bisection(const WorkHg& hg, double target0,
+                                   emc::Rng& rng) {
+  const auto n = static_cast<std::size_t>(hg.vertex_count());
+  std::vector<int> part(n, 1);
+  if (n == 0) return part;
+
+  std::vector<char> visited(n, 0);
+  double w0 = 0.0;
+  std::queue<VertexId> frontier;
+
+  auto try_take = [&](VertexId v) {
+    const auto vu = static_cast<std::size_t>(v);
+    if (visited[vu]) return;
+    visited[vu] = 1;
+    part[vu] = 0;
+    w0 += hg.vertex_weights[vu];
+    frontier.push(v);
+  };
+
+  while (w0 < target0) {
+    if (frontier.empty()) {
+      // Seed a new component from the heaviest unvisited vertex.
+      VertexId seed = -1;
+      double best = -1.0;
+      for (std::size_t v = 0; v < n; ++v) {
+        if (!visited[v] && hg.vertex_weights[v] > best) {
+          best = hg.vertex_weights[v];
+          seed = static_cast<VertexId>(v);
+        }
+      }
+      if (seed < 0) break;
+      try_take(seed);
+      if (w0 >= target0) break;
+    }
+    const VertexId v = frontier.front();
+    frontier.pop();
+    for (NetId e : hg.vertex_nets[static_cast<std::size_t>(v)]) {
+      for (VertexId u : hg.nets[static_cast<std::size_t>(e)]) {
+        if (w0 >= target0) return part;
+        try_take(u);
+      }
+    }
+  }
+  (void)rng;
+  return part;
+}
+
+/// One FM refinement pass over a bisection. Returns the cut improvement
+/// (>= 0; 0 means no improvement and `part` unchanged).
+double fm_pass(const WorkHg& hg, std::vector<int>& part, double target0,
+               double tolerance) {
+  const auto n = static_cast<std::size_t>(hg.vertex_count());
+  const std::size_t n_nets = hg.nets.size();
+
+  // Pin counts per side for every net.
+  std::vector<int> cnt0(n_nets, 0), cnt1(n_nets, 0);
+  double w0 = 0.0, w_total = 0.0;
+  for (std::size_t v = 0; v < n; ++v) {
+    w_total += hg.vertex_weights[v];
+    if (part[v] == 0) w0 += hg.vertex_weights[v];
+  }
+  for (std::size_t e = 0; e < n_nets; ++e) {
+    for (VertexId v : hg.nets[e]) {
+      (part[static_cast<std::size_t>(v)] == 0 ? cnt0[e] : cnt1[e])++;
+    }
+  }
+
+  auto gain_of = [&](std::size_t v) {
+    double gain = 0.0;
+    const int from = part[v];
+    for (NetId e : hg.vertex_nets[v]) {
+      const auto eu = static_cast<std::size_t>(e);
+      const int here = from == 0 ? cnt0[eu] : cnt1[eu];
+      const int there = from == 0 ? cnt1[eu] : cnt0[eu];
+      if (here == 1 && there > 0) gain += hg.net_weights[eu];  // uncuts
+      if (there == 0 && here > 1) gain -= hg.net_weights[eu];  // cuts
+    }
+    return gain;
+  };
+
+  // Lazy max-heap of candidate moves.
+  struct Candidate {
+    double gain;
+    std::size_t v;
+    std::uint64_t version;
+    bool operator<(const Candidate& o) const { return gain < o.gain; }
+  };
+  std::vector<std::uint64_t> version(n, 0);
+  std::priority_queue<Candidate> heap;
+  for (std::size_t v = 0; v < n; ++v) {
+    heap.push({gain_of(v), v, 0});
+  }
+
+  std::vector<char> locked(n, 0);
+  std::vector<std::size_t> move_order;
+  move_order.reserve(n);
+  double cum_gain = 0.0, best_gain = 0.0;
+  std::size_t best_prefix = 0;
+
+  auto apply_move = [&](std::size_t v) {
+    const int from = part[v];
+    const int to = 1 - from;
+    for (NetId e : hg.vertex_nets[v]) {
+      const auto eu = static_cast<std::size_t>(e);
+      (from == 0 ? cnt0[eu] : cnt1[eu])--;
+      (to == 0 ? cnt0[eu] : cnt1[eu])++;
+    }
+    w0 += (to == 0 ? hg.vertex_weights[v] : -hg.vertex_weights[v]);
+    part[v] = to;
+    // Invalidate neighbors' cached gains.
+    for (NetId e : hg.vertex_nets[v]) {
+      for (VertexId u : hg.nets[static_cast<std::size_t>(e)]) {
+        const auto uu = static_cast<std::size_t>(u);
+        if (!locked[uu]) {
+          ++version[uu];
+          heap.push({gain_of(uu), uu, version[uu]});
+        }
+      }
+    }
+  };
+
+  while (!heap.empty()) {
+    const Candidate c = heap.top();
+    heap.pop();
+    if (locked[c.v] || c.version != version[c.v]) continue;
+    // Balance feasibility of moving c.v to the other side.
+    const double w = hg.vertex_weights[c.v];
+    const double new_w0 = part[c.v] == 0 ? w0 - w : w0 + w;
+    const double lo = target0 - tolerance, hi = target0 + tolerance;
+    if (new_w0 < lo || new_w0 > hi) continue;
+
+    locked[c.v] = 1;
+    apply_move(c.v);
+    move_order.push_back(c.v);
+    cum_gain += c.gain;
+    if (cum_gain > best_gain + 1e-12) {
+      best_gain = cum_gain;
+      best_prefix = move_order.size();
+    }
+  }
+
+  // Roll back moves beyond the best prefix.
+  for (std::size_t i = move_order.size(); i > best_prefix; --i) {
+    const std::size_t v = move_order[i - 1];
+    part[v] = 1 - part[v];
+  }
+  return best_gain;
+}
+
+/// Balance repair: while side 0's weight is outside [target0 - tol,
+/// target0 + tol], move the cut-cheapest vertex from the heavy side.
+/// FM alone only chases cut gain, so coarse-level imbalance (one heavy
+/// merged vertex overshooting the target) would otherwise survive
+/// uncoarsening untouched.
+void rebalance(const WorkHg& hg, std::vector<int>& part, double target0,
+               double tolerance) {
+  const auto n = static_cast<std::size_t>(hg.vertex_count());
+  const std::size_t n_nets = hg.nets.size();
+  std::vector<int> cnt0(n_nets, 0), cnt1(n_nets, 0);
+  double w0 = 0.0;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (part[v] == 0) w0 += hg.vertex_weights[v];
+  }
+  for (std::size_t e = 0; e < n_nets; ++e) {
+    for (VertexId v : hg.nets[e]) {
+      (part[static_cast<std::size_t>(v)] == 0 ? cnt0[e] : cnt1[e])++;
+    }
+  }
+
+  auto gain_of = [&](std::size_t v) {
+    double gain = 0.0;
+    const int from = part[v];
+    for (NetId e : hg.vertex_nets[v]) {
+      const auto eu = static_cast<std::size_t>(e);
+      const int here = from == 0 ? cnt0[eu] : cnt1[eu];
+      const int there = from == 0 ? cnt1[eu] : cnt0[eu];
+      if (here == 1 && there > 0) gain += hg.net_weights[eu];
+      if (there == 0 && here > 1) gain -= hg.net_weights[eu];
+    }
+    return gain;
+  };
+
+  for (std::size_t guard = 0; guard < n; ++guard) {
+    int heavy;
+    if (w0 > target0 + tolerance) {
+      heavy = 0;
+    } else if (w0 < target0 - tolerance) {
+      heavy = 1;
+    } else {
+      break;
+    }
+    // Best vertex to eject: highest cut gain; break ties toward weights
+    // that bring w0 closest to target.
+    std::size_t best = n;
+    double best_score = -1e300;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (part[v] != heavy) continue;
+      const double w = hg.vertex_weights[v];
+      const double new_w0 = heavy == 0 ? w0 - w : w0 + w;
+      const double score =
+          gain_of(v) - std::abs(new_w0 - target0) * 1e-9;
+      if (score > best_score) {
+        best_score = score;
+        best = v;
+      }
+    }
+    if (best == n) break;  // heavy side empty
+    const int to = 1 - heavy;
+    for (NetId e : hg.vertex_nets[best]) {
+      const auto eu = static_cast<std::size_t>(e);
+      (heavy == 0 ? cnt0[eu] : cnt1[eu])--;
+      (to == 0 ? cnt0[eu] : cnt1[eu])++;
+    }
+    w0 += (to == 0 ? hg.vertex_weights[best] : -hg.vertex_weights[best]);
+    part[best] = to;
+  }
+}
+
+/// Bisects `hg` into sides with weight targets (target0, rest).
+std::vector<int> bisect(const WorkHg& top, double target0_fraction,
+                        const HgPartitionOptions& options, emc::Rng& rng) {
+  // Coarsening phase.
+  std::vector<CoarseLevel> levels;
+  const WorkHg* current = &top;
+  while (current->vertex_count() > options.coarsen_target) {
+    CoarseLevel level = coarsen_once(*current, rng);
+    if (level.coarse.vertex_count() >=
+        current->vertex_count() - current->vertex_count() / 20) {
+      break;  // matching stalled; stop coarsening
+    }
+    levels.push_back(std::move(level));
+    current = &levels.back().coarse;
+  }
+
+  const double w_total = std::accumulate(
+      current->vertex_weights.begin(), current->vertex_weights.end(), 0.0);
+  const double target0 = w_total * target0_fraction;
+  const double tolerance =
+      std::max(options.epsilon * w_total,
+               *std::max_element(current->vertex_weights.begin(),
+                                 current->vertex_weights.end()) *
+                   1.01);
+
+  std::vector<int> part = initial_bisection(*current, target0, rng);
+  rebalance(*current, part, target0, tolerance);
+  for (int pass = 0; pass < options.fm_passes; ++pass) {
+    if (fm_pass(*current, part, target0, tolerance) <= 0.0) break;
+  }
+
+  // Uncoarsening with refinement at each level.
+  for (std::size_t li = levels.size(); li-- > 0;) {
+    const WorkHg& fine =
+        (li == 0) ? top : levels[li - 1].coarse;
+    const auto& map = levels[li].fine_to_coarse;
+    std::vector<int> fine_part(map.size());
+    for (std::size_t v = 0; v < map.size(); ++v) {
+      fine_part[v] = part[static_cast<std::size_t>(map[v])];
+    }
+    part = std::move(fine_part);
+
+    const double fw_total = std::accumulate(
+        fine.vertex_weights.begin(), fine.vertex_weights.end(), 0.0);
+    const double ft0 = fw_total * target0_fraction;
+    const double ftol =
+        std::max(options.epsilon * fw_total,
+                 *std::max_element(fine.vertex_weights.begin(),
+                                   fine.vertex_weights.end()) *
+                     1.01);
+    rebalance(fine, part, ft0, ftol);
+    for (int pass = 0; pass < options.fm_passes; ++pass) {
+      if (fm_pass(fine, part, ft0, ftol) <= 0.0) break;
+    }
+  }
+  return part;
+}
+
+/// Recursive bisection driver writing final part ids into `out`.
+void recurse(const WorkHg& hg, std::vector<VertexId> global_ids,
+             int part_base, int n_parts, const HgPartitionOptions& options,
+             emc::Rng& rng, std::vector<int>& out) {
+  if (n_parts == 1 || hg.vertex_count() == 0) {
+    for (VertexId gid : global_ids) {
+      out[static_cast<std::size_t>(gid)] = part_base;
+    }
+    return;
+  }
+
+  const int k0 = n_parts / 2;
+  const int k1 = n_parts - k0;
+  const double frac0 = static_cast<double>(k0) / static_cast<double>(n_parts);
+  const std::vector<int> side = bisect(hg, frac0, options, rng);
+
+  // Build the two induced sub-hypergraphs.
+  for (int s = 0; s < 2; ++s) {
+    WorkHg sub;
+    std::vector<VertexId> sub_ids;
+    std::vector<VertexId> local(static_cast<std::size_t>(hg.vertex_count()),
+                                -1);
+    for (std::size_t v = 0; v < side.size(); ++v) {
+      if (side[v] == s) {
+        local[v] = static_cast<VertexId>(sub.vertex_weights.size());
+        sub.vertex_weights.push_back(hg.vertex_weights[v]);
+        sub_ids.push_back(global_ids[v]);
+      }
+    }
+    std::vector<VertexId> proj;
+    for (std::size_t e = 0; e < hg.nets.size(); ++e) {
+      proj.clear();
+      for (VertexId v : hg.nets[e]) {
+        const VertexId lv = local[static_cast<std::size_t>(v)];
+        if (lv >= 0) proj.push_back(lv);
+      }
+      if (proj.size() >= 2) {
+        sub.nets.push_back(proj);
+        sub.net_weights.push_back(hg.net_weights[e]);
+      }
+    }
+    sub.rebuild_vertex_nets();
+    recurse(sub, std::move(sub_ids), part_base + (s == 0 ? 0 : k0),
+            s == 0 ? k0 : k1, options, rng, out);
+  }
+}
+
+}  // namespace
+
+std::vector<int> partition_hypergraph(const Hypergraph& h,
+                                      const HgPartitionOptions& options) {
+  if (options.n_parts < 1) {
+    throw std::invalid_argument("partition_hypergraph: n_parts < 1");
+  }
+  std::vector<int> out(static_cast<std::size_t>(h.vertex_count()), 0);
+  if (options.n_parts == 1 || h.vertex_count() == 0) return out;
+
+  emc::Rng rng(options.seed);
+  WorkHg top = WorkHg::from(h);
+  std::vector<VertexId> ids(static_cast<std::size_t>(h.vertex_count()));
+  std::iota(ids.begin(), ids.end(), VertexId{0});
+
+  // Recursive bisection compounds per-level imbalance, so spread the
+  // caller's epsilon across the ~log2(k) levels each vertex traverses.
+  HgPartitionOptions scaled = options;
+  int levels = 0;
+  for (int k = options.n_parts - 1; k > 0; k >>= 1) ++levels;
+  scaled.epsilon = options.epsilon / static_cast<double>(std::max(1, levels));
+
+  recurse(top, std::move(ids), 0, scaled.n_parts, scaled, rng, out);
+  return out;
+}
+
+BalanceResult hypergraph_balance(const Hypergraph& h, int n_parts,
+                                 std::uint64_t seed) {
+  BalanceResult r;
+  r.algorithm = "hypergraph";
+  emc::Timer timer;
+  HgPartitionOptions options;
+  options.n_parts = n_parts;
+  options.seed = seed;
+  r.assignment = partition_hypergraph(h, options);
+  r.balance_seconds = timer.seconds();
+  return r;
+}
+
+}  // namespace emc::lb

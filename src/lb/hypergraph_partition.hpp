@@ -1,0 +1,39 @@
+#pragma once
+
+// Multilevel hypergraph partitioner (stand-in for PaToH/Zoltan, the
+// "traditional hypergraph-based partitioning implementation" the paper
+// calls computationally expensive).
+//
+// Pipeline per bisection: (1) coarsening by connectivity matching,
+// (2) greedy initial bisection, (3) Fiduccia–Mattheyses refinement with
+// rollback, then recursive bisection to k parts. The objective is the
+// connectivity-1 cut subject to a weight-balance constraint.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/hypergraph.hpp"
+#include "lb/partition.hpp"
+
+namespace emc::lb {
+
+struct HgPartitionOptions {
+  int n_parts = 2;
+  double epsilon = 0.05;       ///< allowed per-part overweight fraction
+  int coarsen_target = 80;     ///< stop coarsening below this many vertices
+  int fm_passes = 8;           ///< max FM passes per level
+  std::uint64_t seed = 1;      ///< deterministic tie-breaking
+};
+
+/// Partitions the hypergraph's vertices into options.n_parts parts.
+/// Returns part[v] in [0, n_parts). Balance honours vertex weights; the
+/// constraint is soft in the sense that a vertex heavier than a whole
+/// part's budget still gets placed (alone).
+std::vector<int> partition_hypergraph(const graph::Hypergraph& h,
+                                      const HgPartitionOptions& options);
+
+/// Convenience wrapper producing a timed BalanceResult for EXP-5.
+BalanceResult hypergraph_balance(const graph::Hypergraph& h, int n_parts,
+                                 std::uint64_t seed = 1);
+
+}  // namespace emc::lb

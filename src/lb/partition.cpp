@@ -1,0 +1,52 @@
+#include "lb/partition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace emc::lb {
+
+std::vector<double> part_loads(std::span<const double> weights,
+                               const Assignment& assignment, int n_parts) {
+  if (weights.size() != assignment.size()) {
+    throw std::invalid_argument("part_loads: weights/assignment mismatch");
+  }
+  std::vector<double> loads(static_cast<std::size_t>(n_parts), 0.0);
+  for (std::size_t t = 0; t < weights.size(); ++t) {
+    const int p = assignment[t];
+    if (p < 0 || p >= n_parts) {
+      throw std::invalid_argument("part_loads: part id out of range");
+    }
+    loads[static_cast<std::size_t>(p)] += weights[t];
+  }
+  return loads;
+}
+
+double makespan(std::span<const double> weights, const Assignment& assignment,
+                int n_parts) {
+  const auto loads = part_loads(weights, assignment, n_parts);
+  return *std::max_element(loads.begin(), loads.end());
+}
+
+double imbalance(std::span<const double> weights,
+                 const Assignment& assignment, int n_parts) {
+  const auto loads = part_loads(weights, assignment, n_parts);
+  double max = 0.0, sum = 0.0;
+  for (double l : loads) {
+    max = std::max(max, l);
+    sum += l;
+  }
+  const double mean = sum / static_cast<double>(n_parts);
+  return mean > 0.0 ? max / mean : 1.0;
+}
+
+void validate_assignment(const Assignment& assignment, int n_parts) {
+  for (std::size_t t = 0; t < assignment.size(); ++t) {
+    if (assignment[t] < 0 || assignment[t] >= n_parts) {
+      throw std::invalid_argument("validate_assignment: task " +
+                                  std::to_string(t) + " maps to part " +
+                                  std::to_string(assignment[t]));
+    }
+  }
+}
+
+}  // namespace emc::lb

@@ -1,0 +1,43 @@
+#pragma once
+
+// Common types and quality metrics for task-to-processor assignments.
+//
+// Every load balancer in this library maps a weighted task list to P
+// parts and is judged by the same metrics: makespan (max part load) and
+// imbalance ratio (max/mean), matching how the paper compares balancers.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace emc::lb {
+
+/// assignment[t] = processor owning task t.
+using Assignment = std::vector<int>;
+
+/// Per-processor total load under an assignment.
+std::vector<double> part_loads(std::span<const double> weights,
+                               const Assignment& assignment, int n_parts);
+
+/// Max part load (the quantity dynamic schedulers race to minimize).
+double makespan(std::span<const double> weights, const Assignment& assignment,
+                int n_parts);
+
+/// Max/mean part load; 1.0 is perfect.
+double imbalance(std::span<const double> weights,
+                 const Assignment& assignment, int n_parts);
+
+/// Throws std::invalid_argument if any task is unassigned (< 0) or maps
+/// outside [0, n_parts).
+void validate_assignment(const Assignment& assignment, int n_parts);
+
+/// Result of a balancer run, including its own cost (EXP-5 compares
+/// balancer runtimes).
+struct BalanceResult {
+  Assignment assignment;
+  double balance_seconds = 0.0;  ///< wall time spent balancing
+  std::string algorithm;
+};
+
+}  // namespace emc::lb

@@ -1,0 +1,240 @@
+#include "lb/semi_matching.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+#include "util/timer.hpp"
+
+namespace emc::lb {
+
+void BipartiteTaskGraph::validate() const {
+  if (n_procs < 1) {
+    throw std::invalid_argument("BipartiteTaskGraph: n_procs < 1");
+  }
+  if (weights.size() != eligible.size()) {
+    throw std::invalid_argument(
+        "BipartiteTaskGraph: weights/eligible size mismatch");
+  }
+  for (std::size_t t = 0; t < eligible.size(); ++t) {
+    if (eligible[t].empty()) {
+      throw std::invalid_argument("BipartiteTaskGraph: task " +
+                                  std::to_string(t) + " has no eligible "
+                                  "processor");
+    }
+    for (int p : eligible[t]) {
+      if (p < 0 || p >= n_procs) {
+        throw std::invalid_argument(
+            "BipartiteTaskGraph: processor id out of range");
+      }
+    }
+  }
+}
+
+BipartiteTaskGraph make_complete_instance(std::vector<double> weights,
+                                          int n_procs) {
+  BipartiteTaskGraph g;
+  g.n_procs = n_procs;
+  g.weights = std::move(weights);
+  std::vector<int> all(static_cast<std::size_t>(n_procs));
+  std::iota(all.begin(), all.end(), 0);
+  g.eligible.assign(g.weights.size(), all);
+  return g;
+}
+
+Assignment optimal_semi_matching(const BipartiteTaskGraph& g) {
+  g.validate();
+  const std::size_t n_tasks = g.task_count();
+  const auto n_procs = static_cast<std::size_t>(g.n_procs);
+
+  Assignment assignment(n_tasks, -1);
+  std::vector<int> load(n_procs, 0);
+  // Tasks currently assigned to each processor (for alternating steps).
+  std::vector<std::vector<int>> assigned_to(n_procs);
+
+  // Per-search visit stamps to avoid O(n) clears.
+  std::vector<int> task_stamp(n_tasks, -1), proc_stamp(n_procs, -1);
+  // BFS parents: for a processor, the task we came from; for a task, the
+  // processor it was assigned to when we traversed into it.
+  std::vector<int> proc_parent_task(n_procs, -1);
+  std::vector<int> task_parent_proc(n_tasks, -1);
+
+  for (std::size_t start = 0; start < n_tasks; ++start) {
+    const int stamp = static_cast<int>(start);
+    std::queue<int> task_frontier;
+    task_frontier.push(static_cast<int>(start));
+    task_stamp[start] = stamp;
+
+    int best_proc = -1;
+    // Alternating BFS: task -> eligible procs; proc -> tasks assigned to
+    // it. Track the least-loaded processor reached anywhere in the tree.
+    while (!task_frontier.empty()) {
+      const int t = task_frontier.front();
+      task_frontier.pop();
+      for (int p : g.eligible[static_cast<std::size_t>(t)]) {
+        const auto pu = static_cast<std::size_t>(p);
+        if (proc_stamp[pu] == stamp) continue;
+        proc_stamp[pu] = stamp;
+        proc_parent_task[pu] = t;
+        if (best_proc < 0 ||
+            load[pu] < load[static_cast<std::size_t>(best_proc)]) {
+          best_proc = p;
+        }
+        for (int t2 : assigned_to[pu]) {
+          const auto t2u = static_cast<std::size_t>(t2);
+          if (task_stamp[t2u] == stamp) continue;
+          task_stamp[t2u] = stamp;
+          task_parent_proc[t2u] = p;
+          task_frontier.push(t2);
+        }
+      }
+    }
+    // `start` always has >= 1 eligible processor, so best_proc is set.
+
+    // Augment along the alternating path ending at best_proc: walking
+    // parents back to `start`, each task on the path moves one processor
+    // toward the tail; only best_proc's load grows.
+    int p = best_proc;
+    while (true) {
+      const auto pu = static_cast<std::size_t>(p);
+      const int t = proc_parent_task[pu];
+      const auto tu = static_cast<std::size_t>(t);
+      const int prev_proc = assignment[tu];
+      assignment[tu] = p;
+      assigned_to[pu].push_back(t);
+      ++load[pu];
+      if (prev_proc >= 0) {
+        auto& vec = assigned_to[static_cast<std::size_t>(prev_proc)];
+        vec.erase(std::find(vec.begin(), vec.end(), t));
+        --load[static_cast<std::size_t>(prev_proc)];
+      }
+      if (t == static_cast<int>(start)) break;
+      p = task_parent_proc[tu];
+    }
+  }
+  return assignment;
+}
+
+Assignment greedy_semi_matching(const BipartiteTaskGraph& g) {
+  g.validate();
+  std::vector<std::size_t> order(g.task_count());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return g.weights[a] > g.weights[b];
+  });
+
+  std::vector<double> load(static_cast<std::size_t>(g.n_procs), 0.0);
+  Assignment assignment(g.task_count(), -1);
+  for (std::size_t t : order) {
+    int best = -1;
+    for (int p : g.eligible[t]) {
+      if (best < 0 || load[static_cast<std::size_t>(p)] <
+                          load[static_cast<std::size_t>(best)]) {
+        best = p;
+      }
+    }
+    assignment[t] = best;
+    load[static_cast<std::size_t>(best)] += g.weights[t];
+  }
+  return assignment;
+}
+
+Assignment refine_semi_matching(const BipartiteTaskGraph& g,
+                                Assignment assignment, int max_rounds) {
+  g.validate();
+  validate_assignment(assignment, g.n_procs);
+
+  auto loads = part_loads(g.weights, assignment, g.n_procs);
+  std::vector<std::vector<int>> tasks_on(
+      static_cast<std::size_t>(g.n_procs));
+  for (std::size_t t = 0; t < assignment.size(); ++t) {
+    tasks_on[static_cast<std::size_t>(assignment[t])].push_back(
+        static_cast<int>(t));
+  }
+
+  auto move_task = [&](int t, int to) {
+    const auto tu = static_cast<std::size_t>(t);
+    const int from = assignment[tu];
+    auto& src = tasks_on[static_cast<std::size_t>(from)];
+    src.erase(std::find(src.begin(), src.end(), t));
+    tasks_on[static_cast<std::size_t>(to)].push_back(t);
+    loads[static_cast<std::size_t>(from)] -= g.weights[tu];
+    loads[static_cast<std::size_t>(to)] += g.weights[tu];
+    assignment[tu] = to;
+  };
+
+  for (int round = 0; round < max_rounds; ++round) {
+    const auto busiest_it = std::max_element(loads.begin(), loads.end());
+    const int busiest = static_cast<int>(busiest_it - loads.begin());
+    const double busy_load = *busiest_it;
+    bool improved = false;
+
+    // 1) Relocation: move one task off the busiest processor if the
+    //    destination stays below the current makespan.
+    double best_gain = 0.0;
+    int best_task = -1, best_dest = -1;
+    for (int t : tasks_on[static_cast<std::size_t>(busiest)]) {
+      const double w = g.weights[static_cast<std::size_t>(t)];
+      for (int p : g.eligible[static_cast<std::size_t>(t)]) {
+        if (p == busiest) continue;
+        const double new_peak =
+            std::max(busy_load - w, loads[static_cast<std::size_t>(p)] + w);
+        const double gain = busy_load - new_peak;
+        if (gain > best_gain + 1e-15) {
+          best_gain = gain;
+          best_task = t;
+          best_dest = p;
+        }
+      }
+    }
+    if (best_task >= 0) {
+      move_task(best_task, best_dest);
+      improved = true;
+    } else {
+      // 2) Swap: exchange a heavy task on the busiest processor with a
+      //    lighter, mutually-eligible task elsewhere.
+      for (int t1 : tasks_on[static_cast<std::size_t>(busiest)]) {
+        const double w1 = g.weights[static_cast<std::size_t>(t1)];
+        const auto& elig1 = g.eligible[static_cast<std::size_t>(t1)];
+        for (int p : elig1) {
+          if (p == busiest) continue;
+          for (int t2 : tasks_on[static_cast<std::size_t>(p)]) {
+            const double w2 = g.weights[static_cast<std::size_t>(t2)];
+            if (w2 >= w1) continue;
+            const auto& elig2 = g.eligible[static_cast<std::size_t>(t2)];
+            if (std::find(elig2.begin(), elig2.end(), busiest) ==
+                elig2.end()) {
+              continue;
+            }
+            const double new_peak = std::max(
+                busy_load - w1 + w2,
+                loads[static_cast<std::size_t>(p)] + w1 - w2);
+            if (new_peak < busy_load - 1e-15) {
+              move_task(t1, p);
+              move_task(t2, busiest);
+              improved = true;
+              break;
+            }
+          }
+          if (improved) break;
+        }
+        if (improved) break;
+      }
+    }
+    if (!improved) break;
+  }
+  return assignment;
+}
+
+BalanceResult semi_matching_balance(const BipartiteTaskGraph& g) {
+  BalanceResult r;
+  r.algorithm = "semi-matching";
+  emc::Timer timer;
+  r.assignment = refine_semi_matching(g, greedy_semi_matching(g));
+  r.balance_seconds = timer.seconds();
+  return r;
+}
+
+}  // namespace emc::lb

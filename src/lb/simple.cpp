@@ -1,0 +1,57 @@
+#include "lb/simple.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+namespace emc::lb {
+
+namespace {
+void check_parts(int n_parts) {
+  if (n_parts < 1) throw std::invalid_argument("balancer: n_parts < 1");
+}
+}  // namespace
+
+Assignment block_assignment(std::size_t n_tasks, int n_parts) {
+  check_parts(n_parts);
+  Assignment a(n_tasks);
+  for (std::size_t t = 0; t < n_tasks; ++t) {
+    a[t] = static_cast<int>(t * static_cast<std::size_t>(n_parts) / n_tasks);
+  }
+  return a;
+}
+
+Assignment cyclic_assignment(std::size_t n_tasks, int n_parts) {
+  check_parts(n_parts);
+  Assignment a(n_tasks);
+  for (std::size_t t = 0; t < n_tasks; ++t) {
+    a[t] = static_cast<int>(t % static_cast<std::size_t>(n_parts));
+  }
+  return a;
+}
+
+Assignment lpt_assignment(std::span<const double> weights, int n_parts) {
+  check_parts(n_parts);
+  std::vector<std::size_t> order(weights.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return weights[a] > weights[b];
+  });
+
+  // Min-heap of (load, part).
+  using Entry = std::pair<double, int>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (int p = 0; p < n_parts; ++p) heap.emplace(0.0, p);
+
+  Assignment a(weights.size(), -1);
+  for (std::size_t t : order) {
+    auto [load, part] = heap.top();
+    heap.pop();
+    a[t] = part;
+    heap.emplace(load + weights[t], part);
+  }
+  return a;
+}
+
+}  // namespace emc::lb

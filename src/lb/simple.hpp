@@ -1,0 +1,20 @@
+#pragma once
+
+// Classical static balancers: block, cyclic, and LPT greedy bin-packing.
+
+#include "lb/partition.hpp"
+
+namespace emc::lb {
+
+/// Contiguous block distribution (what a naive static schedule does):
+/// task t goes to part floor(t * P / n).
+Assignment block_assignment(std::size_t n_tasks, int n_parts);
+
+/// Round-robin: task t goes to part t mod P.
+Assignment cyclic_assignment(std::size_t n_tasks, int n_parts);
+
+/// Longest-processing-time greedy: tasks in decreasing weight order, each
+/// to the currently least-loaded part. 4/3-approximate for makespan.
+Assignment lpt_assignment(std::span<const double> weights, int n_parts);
+
+}  // namespace emc::lb

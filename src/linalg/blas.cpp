@@ -1,0 +1,65 @@
+#include "linalg/blas.hpp"
+
+#include <stdexcept>
+
+namespace emc::linalg {
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  gemm(1.0, a, b, 0.0, c);
+  return c;
+}
+
+void gemm(double alpha, const Matrix& a, const Matrix& b, double beta,
+          Matrix& c) {
+  if (a.cols() != b.rows() || c.rows() != a.rows() || c.cols() != b.cols()) {
+    throw std::invalid_argument("gemm: shape mismatch");
+  }
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  // i-k-j loop order keeps the inner loop streaming over contiguous rows
+  // of B and C.
+  for (std::size_t i = 0; i < m; ++i) {
+    double* ci = &c(i, 0);
+    if (beta != 1.0) {
+      for (std::size_t j = 0; j < n; ++j) ci[j] *= beta;
+    }
+    for (std::size_t p = 0; p < k; ++p) {
+      const double aip = alpha * a(i, p);
+      if (aip == 0.0) continue;
+      const double* bp = b.row(p).data();
+      for (std::size_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+    }
+  }
+}
+
+std::vector<double> matvec(const Matrix& a, std::span<const double> x) {
+  if (a.cols() != x.size()) {
+    throw std::invalid_argument("matvec: shape mismatch");
+  }
+  std::vector<double> y(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double s = 0.0;
+    const double* ai = a.row(i).data();
+    for (std::size_t j = 0; j < a.cols(); ++j) s += ai[j] * x[j];
+    y[i] = s;
+  }
+  return y;
+}
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("dot: size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) s += x[i] * y[i];
+  return s;
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+Matrix congruence(const Matrix& x, const Matrix& b) {
+  return matmul(x.transposed(), matmul(b, x));
+}
+
+}  // namespace emc::linalg

@@ -1,0 +1,127 @@
+#include "linalg/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "linalg/blas.hpp"
+
+namespace emc::linalg {
+
+namespace {
+
+/// Sum of squares of strictly-off-diagonal entries.
+double off_diagonal_mass(const Matrix& a) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      if (i != j) s += a(i, j) * a(i, j);
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+EigenResult eigen_symmetric(const Matrix& input, double tol, int max_sweeps) {
+  if (!input.square()) {
+    throw std::invalid_argument("eigen_symmetric: matrix not square");
+  }
+  const double scale = std::max(input.max_abs(), 1.0);
+  if (!input.is_symmetric(1e-10 * scale)) {
+    throw std::invalid_argument("eigen_symmetric: matrix not symmetric");
+  }
+
+  const std::size_t n = input.rows();
+  Matrix a = input;
+  Matrix v = Matrix::identity(n);
+
+  if (n <= 1) {
+    EigenResult r;
+    r.values.assign(n, n == 1 ? a(0, 0) : 0.0);
+    r.vectors = v;
+    return r;
+  }
+
+  const double threshold = tol * tol * scale * scale;
+  bool converged = false;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diagonal_mass(a) <= threshold) {
+      converged = true;
+      break;
+    }
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::abs(apq) <= tol * scale * 1e-4) continue;
+
+        // Classic Jacobi rotation annihilating a(p,q).
+        const double theta = (a(q, q) - a(p, p)) / (2.0 * apq);
+        const double t =
+            std::copysign(1.0, theta) /
+            (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p), akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k), aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p), vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  if (!converged && off_diagonal_mass(a) > threshold) {
+    throw std::runtime_error("eigen_symmetric: Jacobi did not converge");
+  }
+
+  // Sort ascending by eigenvalue, permuting eigenvector columns to match.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t i, std::size_t j) { return a(i, i) < a(j, j); });
+
+  EigenResult r;
+  r.values.resize(n);
+  r.vectors = Matrix(n, n);
+  for (std::size_t c = 0; c < n; ++c) {
+    r.values[c] = a(order[c], order[c]);
+    for (std::size_t row = 0; row < n; ++row) {
+      r.vectors(row, c) = v(row, order[c]);
+    }
+  }
+  return r;
+}
+
+Matrix inverse_sqrt(const Matrix& s, double min_eigenvalue) {
+  EigenResult eig = eigen_symmetric(s);
+  const std::size_t n = s.rows();
+  for (double lambda : eig.values) {
+    if (lambda < min_eigenvalue) {
+      throw std::runtime_error(
+          "inverse_sqrt: matrix is not positive definite enough "
+          "(eigenvalue " +
+          std::to_string(lambda) + ")");
+    }
+  }
+  std::vector<double> inv_sqrt(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    inv_sqrt[i] = 1.0 / std::sqrt(eig.values[i]);
+  }
+  // X = V diag(1/sqrt(lambda)) V^T
+  Matrix d = Matrix::diagonal(inv_sqrt);
+  return matmul(eig.vectors, matmul(d, eig.vectors.transposed()));
+}
+
+}  // namespace emc::linalg

@@ -1,0 +1,28 @@
+#pragma once
+
+// Symmetric eigensolver (cyclic Jacobi) and derived transforms.
+
+#include "linalg/matrix.hpp"
+
+namespace emc::linalg {
+
+/// Eigen-decomposition of a symmetric matrix A = V diag(values) V^T.
+/// `vectors` holds eigenvectors in columns; both sorted ascending by value.
+struct EigenResult {
+  std::vector<double> values;
+  Matrix vectors;
+};
+
+/// Cyclic Jacobi rotation eigensolver for symmetric matrices.
+/// Throws std::invalid_argument for non-square or non-symmetric input
+/// (symmetry checked to 1e-10 * max|A|), std::runtime_error if the sweep
+/// limit is hit before off-diagonal mass drops below `tol`.
+EigenResult eigen_symmetric(const Matrix& a, double tol = 1e-12,
+                            int max_sweeps = 100);
+
+/// Symmetric (Löwdin) orthogonalizer X = S^{-1/2}. Throws
+/// std::runtime_error if S has an eigenvalue below `min_eigenvalue`
+/// (near-linear-dependence in the basis).
+Matrix inverse_sqrt(const Matrix& s, double min_eigenvalue = 1e-10);
+
+}  // namespace emc::linalg

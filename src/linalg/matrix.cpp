@@ -1,0 +1,117 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace emc::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ > 0 ? rows.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    if (r.size() != cols_) {
+      throw std::invalid_argument("Matrix: ragged initializer list");
+    }
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::diagonal(std::span<const double> d) {
+  Matrix m(d.size(), d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) m(i, i) = d[i];
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+double Matrix::norm() const {
+  double s = 0.0;
+  for (double x : data_) s += x * x;
+  return std::sqrt(s);
+}
+
+double Matrix::max_abs() const {
+  double m = 0.0;
+  for (double x : data_) m = std::max(m, std::abs(x));
+  return m;
+}
+
+double Matrix::trace() const {
+  if (!square()) throw std::logic_error("trace: matrix not square");
+  double t = 0.0;
+  for (std::size_t i = 0; i < rows_; ++i) t += (*this)(i, i);
+  return t;
+}
+
+bool Matrix::almost_equal(const Matrix& other, double tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (std::abs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+bool Matrix::is_symmetric(double tol) const {
+  if (!square()) return false;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = r + 1; c < cols_; ++c) {
+      if (std::abs((*this)(r, c) - (*this)(c, r)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+void Matrix::check_same_shape(const Matrix& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    throw std::invalid_argument("Matrix: shape mismatch");
+  }
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  check_same_shape(rhs);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& rhs) {
+  check_same_shape(rhs);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& x : data_) x *= s;
+  return *this;
+}
+
+std::string Matrix::to_string(int precision) const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      os << std::setw(precision + 8) << (*this)(r, c);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace emc::linalg

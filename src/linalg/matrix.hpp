@@ -1,0 +1,80 @@
+#pragma once
+
+// Dense row-major double-precision matrix. This is the linear-algebra
+// substrate for the SCF solver; it favours clarity and correctness over
+// vendor-BLAS performance (the matrices in this study are a few hundred
+// rows at most).
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace emc::linalg {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Builds from nested initializer lists; all rows must be equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix identity(std::size_t n);
+  /// n x n diagonal matrix with the given diagonal entries.
+  static Matrix diagonal(std::span<const double> d);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+  bool square() const { return rows_ == cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  std::span<double> row(std::size_t r) {
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const double> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  Matrix transposed() const;
+
+  /// Frobenius norm.
+  double norm() const;
+  /// Largest absolute entry.
+  double max_abs() const;
+  double trace() const;
+
+  /// True if max |a_ij - b_ij| <= tol.
+  bool almost_equal(const Matrix& other, double tol) const;
+  /// True if max |a_ij - a_ji| <= tol (square matrices only).
+  bool is_symmetric(double tol) const;
+
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator-=(const Matrix& rhs);
+  Matrix& operator*=(double s);
+
+  friend Matrix operator+(Matrix lhs, const Matrix& rhs) { return lhs += rhs; }
+  friend Matrix operator-(Matrix lhs, const Matrix& rhs) { return lhs -= rhs; }
+  friend Matrix operator*(Matrix lhs, double s) { return lhs *= s; }
+  friend Matrix operator*(double s, Matrix rhs) { return rhs *= s; }
+
+  std::string to_string(int precision = 6) const;
+
+ private:
+  void check_same_shape(const Matrix& other) const;
+
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace emc::linalg

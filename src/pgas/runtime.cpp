@@ -1,0 +1,105 @@
+#include "pgas/runtime.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace emc::pgas {
+
+void inject_delay(std::uint64_t nanoseconds) {
+  if (nanoseconds == 0) return;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::nanoseconds(nanoseconds);
+  // Busy-wait: sleeping would invite the OS scheduler into measurements.
+  while (std::chrono::steady_clock::now() < deadline) {
+  }
+}
+
+int Context::size() const { return runtime_->size(); }
+
+void Context::barrier() { runtime_->barrier_.arrive_and_wait(); }
+
+const CommCostModel& Context::cost_model() const {
+  return runtime_->cost_model_;
+}
+
+void Context::all_reduce_sum(std::span<double> data) {
+  Runtime& rt = *runtime_;
+  // Rank 0 prepares the shared accumulator before anyone adds to it.
+  if (rank_ == 0) {
+    rt.collective_buffer_.assign(data.size(), 0.0);
+  }
+  barrier();
+  {
+    std::lock_guard<std::mutex> lock(rt.collective_mutex_);
+    if (rt.collective_buffer_.size() != data.size()) {
+      throw std::invalid_argument(
+          "all_reduce_sum: ranks passed different buffer sizes");
+    }
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      rt.collective_buffer_[i] += data[i];
+    }
+  }
+  barrier();
+  inject_delay(cost_model().transfer_cost(rank_ != 0,
+                                          data.size() * sizeof(double)));
+  std::copy(rt.collective_buffer_.begin(), rt.collective_buffer_.end(),
+            data.begin());
+  barrier();  // nobody reuses the scratch until all have copied out
+}
+
+void Context::broadcast(std::span<double> data, int root) {
+  Runtime& rt = *runtime_;
+  if (root < 0 || root >= rt.size()) {
+    throw std::invalid_argument("broadcast: root out of range");
+  }
+  if (rank_ == root) {
+    rt.collective_buffer_.assign(data.begin(), data.end());
+  }
+  barrier();
+  if (rank_ != root) {
+    if (rt.collective_buffer_.size() != data.size()) {
+      throw std::invalid_argument(
+          "broadcast: ranks passed different buffer sizes");
+    }
+    inject_delay(
+        cost_model().transfer_cost(true, data.size() * sizeof(double)));
+    std::copy(rt.collective_buffer_.begin(), rt.collective_buffer_.end(),
+              data.begin());
+  }
+  barrier();
+}
+
+Runtime::Runtime(int n_ranks, CommCostModel cost_model)
+    : n_ranks_(n_ranks), cost_model_(cost_model), barrier_(n_ranks) {
+  if (n_ranks < 1) throw std::invalid_argument("Runtime: n_ranks < 1");
+}
+
+void Runtime::run(const std::function<void(Context&)>& body) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n_ranks_));
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  for (int r = 0; r < n_ranks_; ++r) {
+    threads.emplace_back([this, r, &body, &first_error, &error_mutex] {
+      Context ctx(this, r);
+      try {
+        body(ctx);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        // Other ranks may be waiting at a barrier; there is no safe way
+        // to cancel them, so a throwing SPMD body must not use barriers
+        // after the point of failure. Tests exercise the no-barrier case.
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace emc::pgas

@@ -1,0 +1,112 @@
+#pragma once
+
+// Thread-backed PGAS runtime in the style of Global Arrays / ARMCI.
+//
+// The paper's kernel runs over Global Arrays: an SPMD process group with
+// one-sided access to distributed data and an atomic global counter
+// ("nxtval") for dynamic scheduling. This runtime reproduces those
+// semantics with one std::thread per rank. A CommCostModel can inject
+// artificial latency into remote operations so runtime overheads (steal
+// round-trips, counter contention) remain visible even on shared memory.
+
+#include <atomic>
+#include <barrier>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace emc::pgas {
+
+/// Latency model for one-sided operations, in nanoseconds. Remote means
+/// "owned by another rank". Zero-initialized = free (pure shared memory).
+struct CommCostModel {
+  std::uint64_t local_ns = 0;       ///< local get/put/acc overhead
+  std::uint64_t remote_ns = 0;      ///< remote operation base latency
+  std::uint64_t per_byte_ns = 0;    ///< payload transfer cost
+  std::uint64_t counter_ns = 0;     ///< global fetch-and-add round trip
+
+  std::uint64_t transfer_cost(bool remote, std::size_t bytes) const {
+    return (remote ? remote_ns : local_ns) +
+           per_byte_ns * static_cast<std::uint64_t>(bytes);
+  }
+};
+
+/// Busy-waits for the given simulated latency (no-op for 0).
+void inject_delay(std::uint64_t nanoseconds);
+
+class Runtime;
+
+/// Per-rank handle passed to the SPMD body.
+class Context {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+  void barrier();
+  const CommCostModel& cost_model() const;
+
+  /// Collective: element-wise sum of every rank's `data` in place, GA
+  /// DGOP-style. All ranks must pass buffers of the same length; the
+  /// call contains barriers (every rank must reach it).
+  void all_reduce_sum(std::span<double> data);
+
+  /// Collective: copies `data` from `root` to every rank's buffer.
+  void broadcast(std::span<double> data, int root);
+
+ private:
+  friend class Runtime;
+  Context(Runtime* rt, int rank) : runtime_(rt), rank_(rank) {}
+
+  Runtime* runtime_;
+  int rank_;
+};
+
+/// SPMD process group. `run` launches one thread per rank and blocks
+/// until all return. The runtime may be reused for several runs.
+class Runtime {
+ public:
+  explicit Runtime(int n_ranks, CommCostModel cost_model = {});
+
+  int size() const { return n_ranks_; }
+  const CommCostModel& cost_model() const { return cost_model_; }
+
+  /// Executes `body(ctx)` on every rank concurrently. Exceptions thrown
+  /// by any rank are captured and the first one is rethrown here after
+  /// all ranks join.
+  void run(const std::function<void(Context&)>& body);
+
+ private:
+  friend class Context;
+
+  int n_ranks_;
+  CommCostModel cost_model_;
+  std::barrier<> barrier_;
+  // Collective scratch: accumulation buffer guarded by a mutex between
+  // the barriers of a collective call.
+  std::mutex collective_mutex_;
+  std::vector<double> collective_buffer_;
+};
+
+/// Global atomic counter with GA-nxtval semantics: fetch_add returns the
+/// previous value. Latency injection models the remote round trip.
+class GlobalCounter {
+ public:
+  explicit GlobalCounter(std::int64_t initial = 0) : value_(initial) {}
+
+  std::int64_t fetch_add(std::int64_t delta, const CommCostModel& cost) {
+    inject_delay(cost.counter_ns);
+    return value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  std::int64_t load() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  void reset(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_;
+};
+
+}  // namespace emc::pgas

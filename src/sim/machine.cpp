@@ -1,0 +1,56 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace emc::sim {
+
+std::vector<double> draw_core_speeds(const MachineConfig& config) {
+  std::vector<double> speeds(static_cast<std::size_t>(config.n_procs), 1.0);
+  if (config.noise_amplitude <= 0.0) return speeds;
+  emc::Rng rng(config.seed ^ 0xc0ffee);
+  for (double& s : speeds) {
+    s = 1.0 - config.noise_amplitude * rng.uniform();
+  }
+  return speeds;
+}
+
+std::vector<double> utilization_timeline(const SimResult& result,
+                                         int n_procs, int bins) {
+  if (result.trace.empty()) {
+    throw std::invalid_argument(
+        "utilization_timeline: empty trace (set record_trace)");
+  }
+  if (bins < 1 || n_procs < 1) {
+    throw std::invalid_argument("utilization_timeline: bad bins/procs");
+  }
+  const double span = result.makespan;
+  const double width = span / static_cast<double>(bins);
+  std::vector<double> busy_time(static_cast<std::size_t>(bins), 0.0);
+
+  for (const TaskEvent& ev : result.trace) {
+    // Distribute this execution's busy time over the bins it overlaps.
+    const int first =
+        std::clamp(static_cast<int>(ev.start / width), 0, bins - 1);
+    const int last =
+        std::clamp(static_cast<int>(ev.end / width), 0, bins - 1);
+    for (int b = first; b <= last; ++b) {
+      const double lo = std::max(ev.start, width * b);
+      const double hi = std::min(ev.end, width * (b + 1));
+      if (hi > lo) busy_time[static_cast<std::size_t>(b)] += hi - lo;
+    }
+  }
+  for (double& x : busy_time) {
+    x /= width * static_cast<double>(n_procs);
+  }
+  return busy_time;
+}
+
+double SimResult::utilization() const {
+  if (busy.empty() || makespan <= 0.0) return 0.0;
+  double total = 0.0;
+  for (double b : busy) total += b;
+  return total / (makespan * static_cast<double>(busy.size()));
+}
+
+}  // namespace emc::sim

@@ -1,0 +1,82 @@
+#pragma once
+
+// Simulated cluster model: processors grouped into nodes, per-operation
+// latencies calibrated to Global-Arrays-class interconnects, and optional
+// per-core performance variability ("energy-induced" noise).
+//
+// This is the substitution for the paper's physical cluster (see
+// DESIGN.md): scheduling behaviour depends on task costs and relative
+// overheads, both of which this model captures; absolute times are in
+// seconds but their meaning is "simulated seconds".
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace emc::sim {
+
+struct MachineConfig {
+  int n_procs = 64;
+  int procs_per_node = 16;
+
+  /// Latencies in (simulated) seconds. Defaults approximate published
+  /// ARMCI/IB numbers: ~1.5 us one-sided remote op, ~0.3 us on-node.
+  double intra_node_latency = 0.3e-6;
+  double inter_node_latency = 1.5e-6;
+  double counter_service = 0.1e-6;  ///< serialization at the counter home
+  double task_overhead = 0.05e-6;   ///< per-task dispatch cost
+  double steal_fail_retry = 0.5e-6; ///< back-off after a failed steal
+
+  /// Per-core static speed variability: core speeds are drawn uniformly
+  /// from [1 - noise_amplitude, 1]; 0 disables.
+  double noise_amplitude = 0.0;
+
+  /// When true, simulators record per-task (proc, start, end) events in
+  /// SimResult::trace for timeline analysis.
+  bool record_trace = false;
+
+  std::uint64_t seed = 1;
+
+  int node_of(int proc) const { return proc / procs_per_node; }
+  /// Latency of a one-sided operation from `from` to `to`.
+  double link_latency(int from, int to) const {
+    if (from == to) return 0.0;
+    return node_of(from) == node_of(to) ? intra_node_latency
+                                        : inter_node_latency;
+  }
+};
+
+/// Per-core speed factors (execution time divides by the factor).
+std::vector<double> draw_core_speeds(const MachineConfig& config);
+
+/// One task execution in a recorded trace.
+struct TaskEvent {
+  int proc = 0;
+  double start = 0.0;
+  double end = 0.0;
+};
+
+struct SimResult {
+  double makespan = 0.0;                 ///< simulated completion time
+  std::vector<double> busy;              ///< per-proc task-execution time
+  std::vector<std::int64_t> tasks_executed;
+  std::int64_t steals = 0;
+  std::int64_t steal_attempts = 0;
+  std::int64_t counter_ops = 0;
+  double counter_wait = 0.0;             ///< total time spent on counter
+  double steal_wait = 0.0;               ///< total time spent stealing
+  std::vector<TaskEvent> trace;          ///< per-task events, if recorded
+
+  /// Mean busy fraction = sum(busy) / (P * makespan); EXP-3's metric.
+  double utilization() const;
+};
+
+/// Bins the recorded trace into `bins` equal slices of [0, makespan] and
+/// returns the fraction of processors busy in each — the utilization-
+/// over-time curve of the paper's figures. Requires record_trace.
+/// Throws std::invalid_argument if the trace is empty or bins < 1.
+std::vector<double> utilization_timeline(const SimResult& result,
+                                         int n_procs, int bins);
+
+}  // namespace emc::sim

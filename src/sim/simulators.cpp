@@ -1,0 +1,554 @@
+#include "sim/simulators.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <stdexcept>
+#include <tuple>
+
+#include "lb/simple.hpp"
+#include "util/rng.hpp"
+
+namespace emc::sim {
+
+namespace {
+
+void check_inputs(const MachineConfig& config, std::span<const double> costs) {
+  if (config.n_procs < 1) {
+    throw std::invalid_argument("simulate: n_procs < 1");
+  }
+  if (config.procs_per_node < 1) {
+    throw std::invalid_argument("simulate: procs_per_node < 1");
+  }
+  for (double c : costs) {
+    if (c < 0.0) throw std::invalid_argument("simulate: negative task cost");
+  }
+}
+
+}  // namespace
+
+SimResult simulate_static(const MachineConfig& config,
+                          std::span<const double> costs,
+                          const lb::Assignment& assignment) {
+  check_inputs(config, costs);
+  if (assignment.size() != costs.size()) {
+    throw std::invalid_argument("simulate_static: assignment size mismatch");
+  }
+  lb::validate_assignment(assignment, config.n_procs);
+
+  const auto speeds = draw_core_speeds(config);
+  SimResult result;
+  result.busy.assign(static_cast<std::size_t>(config.n_procs), 0.0);
+  result.tasks_executed.assign(static_cast<std::size_t>(config.n_procs), 0);
+
+  std::vector<double> finish(static_cast<std::size_t>(config.n_procs), 0.0);
+  for (std::size_t t = 0; t < costs.size(); ++t) {
+    const auto p = static_cast<std::size_t>(assignment[t]);
+    const double exec = costs[t] / speeds[p];
+    const double start = finish[p] + config.task_overhead;
+    finish[p] = start + exec;
+    result.busy[p] += exec;
+    ++result.tasks_executed[p];
+    if (config.record_trace) {
+      result.trace.push_back(
+          TaskEvent{static_cast<int>(p), start, finish[p]});
+    }
+  }
+  result.makespan = *std::max_element(finish.begin(), finish.end());
+  return result;
+}
+
+SimResult simulate_counter(const MachineConfig& config,
+                           std::span<const double> costs,
+                           std::int64_t chunk) {
+  CounterOptions options;
+  options.chunk = chunk;
+  return simulate_counter(config, costs, options);
+}
+
+SimResult simulate_counter(const MachineConfig& config,
+                           std::span<const double> costs,
+                           const CounterOptions& options) {
+  check_inputs(config, costs);
+  if (options.chunk < 1) {
+    throw std::invalid_argument("simulate_counter: chunk < 1");
+  }
+
+  const auto speeds = draw_core_speeds(config);
+  const auto n_tasks = static_cast<std::int64_t>(costs.size());
+  SimResult result;
+  result.busy.assign(static_cast<std::size_t>(config.n_procs), 0.0);
+  result.tasks_executed.assign(static_cast<std::size_t>(config.n_procs), 0);
+
+  // Trapezoid self-scheduling parameters (Tzen & Ni): chunks shrink
+  // linearly from `first` to the floor across the expected grab count.
+  const std::int64_t tss_first = std::max<std::int64_t>(
+      options.chunk, n_tasks / (2 * std::max(config.n_procs, 1)));
+  const std::int64_t tss_last = options.chunk;
+  const std::int64_t tss_grabs = std::max<std::int64_t>(
+      1, 2 * n_tasks / std::max<std::int64_t>(1, tss_first + tss_last));
+  const double tss_step =
+      tss_grabs > 1 ? static_cast<double>(tss_first - tss_last) /
+                          static_cast<double>(tss_grabs - 1)
+                    : 0.0;
+
+  std::int64_t grab_index = 0;
+  auto next_chunk = [&](std::int64_t remaining) -> std::int64_t {
+    switch (options.policy) {
+      case ChunkPolicy::kFixed:
+        return options.chunk;
+      case ChunkPolicy::kGuided:
+        return std::max(options.chunk,
+                        (remaining + config.n_procs - 1) / config.n_procs);
+      case ChunkPolicy::kTrapezoid: {
+        const double c = static_cast<double>(tss_first) -
+                         tss_step * static_cast<double>(grab_index);
+        return std::max(tss_last, static_cast<std::int64_t>(c));
+      }
+    }
+    return options.chunk;
+  };
+
+  // The counter lives on proc 0's node; requests are served serially in
+  // arrival order. Heap entries are (arrival_time, proc); every active
+  // proc has exactly one outstanding request, so processing the earliest
+  // arrival is globally time-ordered.
+  using Request = std::pair<double, int>;
+  std::priority_queue<Request, std::vector<Request>, std::greater<>> heap;
+  for (int p = 0; p < config.n_procs; ++p) {
+    heap.emplace(config.link_latency(p, 0), p);
+  }
+
+  double server_free = 0.0;
+  std::int64_t next_task = 0;
+  double makespan = 0.0;
+
+  while (!heap.empty()) {
+    const auto [arrival, p] = heap.top();
+    heap.pop();
+    const double start = std::max(arrival, server_free);
+    server_free = start + config.counter_service;
+    const double response =
+        server_free + config.link_latency(p, 0);
+    ++result.counter_ops;
+    const double issue = arrival - config.link_latency(p, 0);
+    result.counter_wait += response - issue;
+
+    const std::int64_t first = next_task;
+    if (first >= n_tasks) {
+      // Proc learns the work is exhausted and retires.
+      makespan = std::max(makespan, response);
+      continue;
+    }
+    next_task = std::min(n_tasks, first + next_chunk(n_tasks - first));
+    ++grab_index;
+
+    const auto pu = static_cast<std::size_t>(p);
+    double t = response;
+    for (std::int64_t i = first; i < next_task; ++i) {
+      const double exec = costs[static_cast<std::size_t>(i)] / speeds[pu];
+      const double task_start = t + config.task_overhead;
+      t = task_start + exec;
+      result.busy[pu] += exec;
+      ++result.tasks_executed[pu];
+      if (config.record_trace) {
+        result.trace.push_back(TaskEvent{p, task_start, t});
+      }
+    }
+    makespan = std::max(makespan, t);
+    heap.emplace(t + config.link_latency(p, 0), p);
+  }
+
+  result.makespan = makespan;
+  return result;
+}
+
+SimResult simulate_hierarchical_counter(const MachineConfig& config,
+                                        std::span<const double> costs,
+                                        std::int64_t node_chunk,
+                                        std::int64_t proc_chunk) {
+  check_inputs(config, costs);
+  if (node_chunk < 1 || proc_chunk < 1) {
+    throw std::invalid_argument(
+        "simulate_hierarchical_counter: chunk < 1");
+  }
+
+  const auto speeds = draw_core_speeds(config);
+  const auto n_tasks = static_cast<std::int64_t>(costs.size());
+  const int n_nodes =
+      (config.n_procs + config.procs_per_node - 1) / config.procs_per_node;
+  SimResult result;
+  result.busy.assign(static_cast<std::size_t>(config.n_procs), 0.0);
+  result.tasks_executed.assign(static_cast<std::size_t>(config.n_procs), 0);
+
+  // Per-node proxy counter state: [range_next, range_end) plus server
+  // availability. The global counter (proc 0's node) hands out
+  // node_chunk ranges; exhausted nodes stop refilling when the global
+  // range is dry.
+  std::vector<std::int64_t> node_next(static_cast<std::size_t>(n_nodes), 0);
+  std::vector<std::int64_t> node_end(static_cast<std::size_t>(n_nodes), 0);
+  std::vector<double> node_free(static_cast<std::size_t>(n_nodes), 0.0);
+  double global_free = 0.0;
+  std::int64_t global_next = 0;
+
+  using Request = std::pair<double, int>;
+  std::priority_queue<Request, std::vector<Request>, std::greater<>> heap;
+  for (int p = 0; p < config.n_procs; ++p) {
+    const int leader = config.node_of(p) * config.procs_per_node;
+    heap.emplace(config.link_latency(p, leader), p);
+  }
+
+  double makespan = 0.0;
+  while (!heap.empty()) {
+    const auto [arrival, p] = heap.top();
+    heap.pop();
+    const int node = config.node_of(p);
+    const auto nu = static_cast<std::size_t>(node);
+    const int leader = node * config.procs_per_node;
+
+    double t = std::max(arrival, node_free[nu]);
+    t += config.counter_service;  // node-counter serialization
+    ++result.counter_ops;
+
+    if (node_next[nu] >= node_end[nu]) {
+      // Refill from the global counter (leader -> proc 0 round trip).
+      if (global_next < n_tasks) {
+        double g = std::max(t + config.link_latency(leader, 0), global_free);
+        g += config.counter_service;
+        global_free = g;
+        ++result.counter_ops;
+        node_next[nu] = global_next;
+        global_next = std::min(n_tasks, global_next + node_chunk);
+        node_end[nu] = global_next;
+        t = g + config.link_latency(leader, 0);
+      }
+    }
+    node_free[nu] = std::max(node_free[nu], t);
+
+    const double response = t + config.link_latency(p, leader);
+    result.counter_wait +=
+        response - (arrival - config.link_latency(p, leader));
+
+    if (node_next[nu] >= node_end[nu]) {
+      // Node dry and global dry: retire.
+      makespan = std::max(makespan, response);
+      continue;
+    }
+    const std::int64_t first = node_next[nu];
+    const std::int64_t last =
+        std::min(node_end[nu], first + proc_chunk);
+    node_next[nu] = last;
+
+    const auto pu = static_cast<std::size_t>(p);
+    double done = response;
+    for (std::int64_t i = first; i < last; ++i) {
+      const double exec = costs[static_cast<std::size_t>(i)] / speeds[pu];
+      const double task_start = done + config.task_overhead;
+      done = task_start + exec;
+      result.busy[pu] += exec;
+      ++result.tasks_executed[pu];
+      if (config.record_trace) {
+        result.trace.push_back(TaskEvent{p, task_start, done});
+      }
+    }
+    makespan = std::max(makespan, done);
+    heap.emplace(done + config.link_latency(p, leader), p);
+  }
+
+  result.makespan = makespan;
+  return result;
+}
+
+SimResult simulate_hybrid(const MachineConfig& config,
+                          std::span<const double> costs,
+                          const lb::Assignment& assignment,
+                          double dynamic_fraction, std::int64_t chunk) {
+  check_inputs(config, costs);
+  if (assignment.size() != costs.size()) {
+    throw std::invalid_argument("simulate_hybrid: assignment mismatch");
+  }
+  if (dynamic_fraction < 0.0 || dynamic_fraction > 1.0) {
+    throw std::invalid_argument(
+        "simulate_hybrid: dynamic_fraction outside [0,1]");
+  }
+  lb::validate_assignment(assignment, config.n_procs);
+
+  // Split point: the task index after which the remaining *cost* is the
+  // requested dynamic fraction of the total.
+  double total = 0.0;
+  for (double c : costs) total += c;
+  std::int64_t split = static_cast<std::int64_t>(costs.size());
+  double tail = 0.0;
+  while (split > 0 && tail < dynamic_fraction * total) {
+    tail += costs[static_cast<std::size_t>(split - 1)];
+    --split;
+  }
+
+  const auto speeds = draw_core_speeds(config);
+  SimResult result;
+  result.busy.assign(static_cast<std::size_t>(config.n_procs), 0.0);
+  result.tasks_executed.assign(static_cast<std::size_t>(config.n_procs), 0);
+
+  // Phase 1: static prefix.
+  std::vector<double> finish(static_cast<std::size_t>(config.n_procs), 0.0);
+  for (std::int64_t i = 0; i < split; ++i) {
+    const auto pu =
+        static_cast<std::size_t>(assignment[static_cast<std::size_t>(i)]);
+    const double exec = costs[static_cast<std::size_t>(i)] / speeds[pu];
+    const double task_start = finish[pu] + config.task_overhead;
+    finish[pu] = task_start + exec;
+    result.busy[pu] += exec;
+    ++result.tasks_executed[pu];
+    if (config.record_trace) {
+      result.trace.push_back(
+          TaskEvent{static_cast<int>(pu), task_start, finish[pu]});
+    }
+  }
+
+  // Phase 2: counter-scheduled tail; procs join as they finish.
+  using Request = std::pair<double, int>;
+  std::priority_queue<Request, std::vector<Request>, std::greater<>> heap;
+  for (int p = 0; p < config.n_procs; ++p) {
+    heap.emplace(finish[static_cast<std::size_t>(p)] +
+                     config.link_latency(p, 0),
+                 p);
+  }
+  double server_free = 0.0;
+  std::int64_t next_task = split;
+  const auto n_tasks = static_cast<std::int64_t>(costs.size());
+  double makespan = 0.0;
+  for (double f : finish) makespan = std::max(makespan, f);
+
+  while (!heap.empty()) {
+    const auto [arrival, p] = heap.top();
+    heap.pop();
+    const double start = std::max(arrival, server_free);
+    server_free = start + config.counter_service;
+    const double response = server_free + config.link_latency(p, 0);
+    ++result.counter_ops;
+    result.counter_wait += response - (arrival - config.link_latency(p, 0));
+
+    const std::int64_t first = next_task;
+    if (first >= n_tasks) {
+      makespan = std::max(makespan, response);
+      continue;
+    }
+    next_task = std::min(n_tasks, first + chunk);
+
+    const auto pu = static_cast<std::size_t>(p);
+    double t = response;
+    for (std::int64_t i = first; i < next_task; ++i) {
+      const double exec = costs[static_cast<std::size_t>(i)] / speeds[pu];
+      const double task_start = t + config.task_overhead;
+      t = task_start + exec;
+      result.busy[pu] += exec;
+      ++result.tasks_executed[pu];
+      if (config.record_trace) {
+        result.trace.push_back(TaskEvent{p, task_start, t});
+      }
+    }
+    makespan = std::max(makespan, t);
+    heap.emplace(t + config.link_latency(p, 0), p);
+  }
+
+  result.makespan = makespan;
+  return result;
+}
+
+SimResult simulate_work_stealing(const MachineConfig& config,
+                                 std::span<const double> costs,
+                                 const lb::Assignment& initial,
+                                 const StealOptions& options,
+                                 std::vector<int>* executed_by) {
+  check_inputs(config, costs);
+  if (initial.size() != costs.size()) {
+    throw std::invalid_argument(
+        "simulate_work_stealing: assignment size mismatch");
+  }
+  lb::validate_assignment(initial, config.n_procs);
+
+  const auto speeds = draw_core_speeds(config);
+  const auto n_procs = static_cast<std::size_t>(config.n_procs);
+  SimResult result;
+  result.busy.assign(n_procs, 0.0);
+  result.tasks_executed.assign(n_procs, 0);
+  if (executed_by != nullptr) {
+    executed_by->assign(costs.size(), -1);
+  }
+
+  // Per-proc LIFO queues; thieves take from the front (oldest tasks).
+  std::vector<std::deque<std::int64_t>> queues(n_procs);
+  for (std::size_t t = 0; t < initial.size(); ++t) {
+    queues[static_cast<std::size_t>(initial[t])].push_back(
+        static_cast<std::int64_t>(t));
+  }
+  std::size_t total_queued = costs.size();
+
+  struct Event {
+    double time;
+    std::uint64_t seq;  ///< deterministic tie-break
+    int proc;
+    bool operator>(const Event& o) const {
+      return std::tie(time, seq) > std::tie(o.time, o.seq);
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+  std::uint64_t seq = 0;
+  for (int p = 0; p < config.n_procs; ++p) {
+    events.push(Event{0.0, seq++, p});
+  }
+
+  emc::Rng rng(options.seed);
+  double makespan = 0.0;
+  // Per-proc state for the non-uniform victim policies.
+  std::vector<std::uint64_t> attempt_count(n_procs, 0);
+
+  auto pick_victim = [&](int thief) -> int {
+    switch (options.victim) {
+      case VictimPolicy::kUniform: {
+        const int raw = static_cast<int>(
+            rng.below(static_cast<std::uint64_t>(config.n_procs - 1)));
+        return raw >= thief ? raw + 1 : raw;
+      }
+      case VictimPolicy::kRing: {
+        const auto tu = static_cast<std::size_t>(thief);
+        const int offset =
+            1 + static_cast<int>(attempt_count[tu]++ %
+                                 static_cast<std::uint64_t>(
+                                     config.n_procs - 1));
+        return (thief + offset) % config.n_procs;
+      }
+      case VictimPolicy::kNodeFirst: {
+        const auto tu = static_cast<std::size_t>(thief);
+        const int node = config.node_of(thief);
+        const int node_first = node * config.procs_per_node;
+        const int node_last =
+            std::min(config.n_procs, node_first + config.procs_per_node);
+        const int node_size = node_last - node_first;
+        // Alternate: even attempts stay on-node (when possible), odd
+        // attempts go anywhere — local theft is cheap, remote theft
+        // keeps progress when the node is dry.
+        const bool local = (attempt_count[tu]++ % 2 == 0) && node_size > 1;
+        if (local) {
+          const int raw = node_first + static_cast<int>(rng.below(
+                              static_cast<std::uint64_t>(node_size - 1)));
+          return raw >= thief ? raw + 1 : raw;
+        }
+        const int raw = static_cast<int>(
+            rng.below(static_cast<std::uint64_t>(config.n_procs - 1)));
+        return raw >= thief ? raw + 1 : raw;
+      }
+    }
+    return thief == 0 ? 1 : 0;
+  };
+
+  auto execute = [&](int p, std::int64_t task, double start) {
+    const auto pu = static_cast<std::size_t>(p);
+    const double exec = costs[static_cast<std::size_t>(task)] / speeds[pu];
+    result.busy[pu] += exec;
+    ++result.tasks_executed[pu];
+    if (executed_by != nullptr) {
+      (*executed_by)[static_cast<std::size_t>(task)] = p;
+    }
+    const double task_start = start + config.task_overhead;
+    const double done = task_start + exec;
+    if (config.record_trace) {
+      result.trace.push_back(TaskEvent{p, task_start, done});
+    }
+    makespan = std::max(makespan, done);
+    events.push(Event{done, seq++, p});
+  };
+
+  while (!events.empty()) {
+    const Event ev = events.top();
+    events.pop();
+    const auto pu = static_cast<std::size_t>(ev.proc);
+
+    if (!queues[pu].empty()) {
+      const std::int64_t task = queues[pu].back();
+      queues[pu].pop_back();
+      --total_queued;
+      execute(ev.proc, task, ev.time);
+      continue;
+    }
+    if (total_queued == 0) continue;  // park: nothing left to steal
+    if (config.n_procs == 1) continue;
+
+    // Steal attempt at a policy-selected victim.
+    const int victim = pick_victim(ev.proc);
+    const double rtt = 2.0 * config.link_latency(ev.proc, victim);
+    ++result.steal_attempts;
+    const auto vu = static_cast<std::size_t>(victim);
+
+    if (queues[vu].empty()) {
+      result.steal_wait += rtt;
+      events.push(
+          Event{ev.time + rtt + config.steal_fail_retry, seq++, ev.proc});
+      continue;
+    }
+
+    ++result.steals;
+    result.steal_wait += rtt;
+    const std::int64_t task = queues[vu].front();
+    queues[vu].pop_front();
+    --total_queued;
+    if (options.steal_half) {
+      // Migrate up to half of the victim's remaining queue.
+      std::size_t extra = queues[vu].size() / 2;
+      while (extra-- > 0) {
+        queues[pu].push_back(queues[vu].front());
+        queues[vu].pop_front();
+      }
+    }
+    execute(ev.proc, task, ev.time + rtt);
+  }
+
+  result.makespan = makespan;
+  return result;
+}
+
+std::vector<SimResult> simulate_retentive(const MachineConfig& config,
+                                          std::span<const double> costs,
+                                          const lb::Assignment& initial,
+                                          int iterations,
+                                          const StealOptions& options) {
+  std::vector<SimResult> rounds;
+  lb::Assignment current = initial;
+  std::vector<int> executed_by;
+  for (int round = 0; round < iterations; ++round) {
+    StealOptions round_options = options;
+    round_options.seed = options.seed + static_cast<std::uint64_t>(round);
+    rounds.push_back(simulate_work_stealing(config, costs, current,
+                                            round_options, &executed_by));
+    current.assign(executed_by.begin(), executed_by.end());
+  }
+  return rounds;
+}
+
+std::vector<SimResult> simulate_persistence(
+    const MachineConfig& config, std::span<const double> costs,
+    const lb::Assignment& initial, int iterations,
+    double rebalance_cost_seconds) {
+  if (rebalance_cost_seconds < 0.0) {
+    throw std::invalid_argument(
+        "simulate_persistence: negative rebalance cost");
+  }
+  std::vector<SimResult> rounds;
+  if (iterations < 1) return rounds;
+
+  rounds.push_back(simulate_static(config, costs, initial));
+  if (iterations == 1) return rounds;
+
+  // After round 1 the true task costs are known; LPT over them is the
+  // persistence-based static assignment used for every later round.
+  const lb::Assignment balanced =
+      lb::lpt_assignment(costs, config.n_procs);
+  for (int round = 1; round < iterations; ++round) {
+    SimResult r = simulate_static(config, costs, balanced);
+    r.makespan += rebalance_cost_seconds;
+    rounds.push_back(std::move(r));
+  }
+  return rounds;
+}
+
+}  // namespace emc::sim

@@ -1,0 +1,41 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace emc {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_io_mutex;
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+namespace detail {
+
+void log_write(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_io_mutex);
+  std::cerr << "[" << log_level_name(level) << "] " << message << "\n";
+}
+
+}  // namespace detail
+}  // namespace emc

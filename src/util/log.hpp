@@ -1,0 +1,54 @@
+#pragma once
+
+// Minimal leveled logger. Thread-safe: each log line is formatted into a
+// single string and written with one stream insertion.
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace emc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Converts a level to its display tag ("DEBUG", "INFO", ...).
+const char* log_level_name(LogLevel level);
+
+namespace detail {
+void log_write(LogLevel level, const std::string& message);
+}
+
+/// Log with streaming syntax: EMC_LOG(kInfo) << "tasks=" << n;
+#define EMC_LOG(level)                                        \
+  for (bool emc_log_once =                                    \
+           (::emc::LogLevel::level >= ::emc::log_level());    \
+       emc_log_once; emc_log_once = false)                    \
+  ::emc::detail::LogLine(::emc::LogLevel::level)
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_write(level_, stream_.str()); }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace emc

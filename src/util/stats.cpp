@@ -1,0 +1,122 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace emc {
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+
+  Accumulator acc;
+  for (double x : xs) acc.add(x);
+  s.min = acc.min();
+  s.max = acc.max();
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  s.sum = acc.sum();
+  s.p50 = percentile(xs, 0.50);
+  s.p90 = percentile(xs, 0.90);
+  s.p99 = percentile(xs, 0.99);
+  return s;
+}
+
+double percentile(std::span<const double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double imbalance_ratio(std::span<const double> loads) {
+  if (loads.empty()) return 1.0;
+  double max = 0.0, sum = 0.0;
+  for (double x : loads) {
+    max = std::max(max, x);
+    sum += x;
+  }
+  const double mean = sum / static_cast<double>(loads.size());
+  return mean > 0.0 ? max / mean : 1.0;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto bin = static_cast<std::size_t>((x - lo_) / width_);
+  if (bin >= counts_.size()) bin = counts_.size() - 1;  // fp edge case
+  ++counts_[bin];
+}
+
+void Histogram::add_all(std::span<const double> xs) {
+  for (double x : xs) add(x);
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+  return lo_ + width_ * static_cast<double>(bin + 1);
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::size_t peak = 1;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+
+  std::ostringstream os;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto bar =
+        static_cast<std::size_t>(static_cast<double>(counts_[b]) /
+                                 static_cast<double>(peak) *
+                                 static_cast<double>(width));
+    os.setf(std::ios::scientific);
+    os.precision(2);
+    os << "[" << bin_lo(b) << ", " << bin_hi(b) << ") ";
+    os.unsetf(std::ios::scientific);
+    os << std::string(bar, '#') << " " << counts_[b] << "\n";
+  }
+  if (underflow_ > 0) os << "underflow: " << underflow_ << "\n";
+  if (overflow_ > 0) os << "overflow: " << overflow_ << "\n";
+  return os.str();
+}
+
+void Accumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const {
+  return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace emc

@@ -1,0 +1,82 @@
+#pragma once
+
+// Descriptive statistics and histograms for task-cost distributions,
+// load vectors, and timing samples.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace emc {
+
+/// Summary statistics of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< population standard deviation
+  double sum = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+
+  /// Coefficient of variation (stddev / mean); 0 when mean == 0.
+  double cv() const { return mean != 0.0 ? stddev / mean : 0.0; }
+};
+
+/// Computes summary statistics. Empty input yields a zeroed Summary.
+Summary summarize(std::span<const double> xs);
+
+/// Interpolated percentile (q in [0,1]) of an unsorted sample.
+double percentile(std::span<const double> xs, double q);
+
+/// Load-imbalance ratio: max/mean of per-processor loads (>= 1.0 for a
+/// non-empty positive load vector). Returns 1.0 for empty/zero input.
+double imbalance_ratio(std::span<const double> loads);
+
+/// Fixed-width histogram.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void add_all(std::span<const double> xs);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_[bin]; }
+  std::size_t total() const { return total_; }
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+
+  /// Renders an ASCII bar chart, one bin per line.
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0, underflow_ = 0, overflow_ = 0;
+};
+
+/// Streaming mean/variance accumulator (Welford).
+class Accumulator {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const;  ///< population variance
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0, m2_ = 0.0, sum_ = 0.0;
+  double min_ = 0.0, max_ = 0.0;
+};
+
+}  // namespace emc

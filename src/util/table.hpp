@@ -1,0 +1,51 @@
+#pragma once
+
+// Aligned plain-text tables and CSV emission for benchmark reports.
+//
+// Every bench binary reports its rows through a Table so that the printed
+// output mirrors the corresponding table/figure series in the paper and
+// can be redirected to CSV for plotting.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace emc {
+
+/// A cell is a string, an integer, or a double (formatted with
+/// column-specific precision).
+using Cell = std::variant<std::string, std::int64_t, double>;
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Sets decimal precision used for double cells (default 4).
+  void set_precision(int digits) { precision_ = digits; }
+
+  void add_row(std::vector<Cell> row);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t cols() const { return headers_.size(); }
+  const Cell& at(std::size_t row, std::size_t col) const;
+
+  /// Renders the table with aligned columns.
+  std::string to_text() const;
+
+  /// Renders RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  std::string to_csv() const;
+
+  /// Prints to_text() to the stream, preceded by an optional title.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+ private:
+  std::string format_cell(const Cell& c) const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 4;
+};
+
+}  // namespace emc

@@ -1,0 +1,45 @@
+#pragma once
+
+// Wall-clock timing helpers.
+
+#include <chrono>
+#include <cstdint>
+
+namespace emc {
+
+/// Monotonic wall-clock stopwatch with nanosecond resolution.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+  double micros() const { return seconds() * 1e6; }
+
+  std::uint64_t nanos() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Runs `fn` and returns its wall time in seconds.
+template <typename Fn>
+double timed_seconds(Fn&& fn) {
+  Timer t;
+  fn();
+  return t.seconds();
+}
+
+}  // namespace emc

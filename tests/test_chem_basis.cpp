@@ -1,0 +1,187 @@
+// Tests for molecules, elements, and basis-set construction.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chem/basis.hpp"
+#include "chem/constants.hpp"
+#include "chem/element.hpp"
+#include "chem/molecule.hpp"
+
+namespace {
+
+using namespace emc::chem;
+
+TEST(ElementTest, RoundTrip) {
+  EXPECT_EQ(atomic_number("H"), 1);
+  EXPECT_EQ(atomic_number("C"), 6);
+  EXPECT_EQ(atomic_number("O"), 8);
+  EXPECT_STREQ(element_symbol(7), "N");
+  for (int z = 1; z <= 18; ++z) {
+    EXPECT_EQ(atomic_number(element_symbol(z)), z);
+  }
+}
+
+TEST(ElementTest, UnknownThrows) {
+  EXPECT_THROW(atomic_number("Xx"), std::invalid_argument);
+  EXPECT_THROW(element_symbol(0), std::invalid_argument);
+  EXPECT_THROW(element_symbol(99), std::invalid_argument);
+}
+
+TEST(MoleculeTest, H2Geometry) {
+  const Molecule m = make_h2(1.4);
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.electron_count(), 2);
+  EXPECT_NEAR(m.nuclear_repulsion(), 1.0 / 1.4, 1e-12);
+}
+
+TEST(MoleculeTest, WaterComposition) {
+  const Molecule m = make_water();
+  ASSERT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.total_charge_z(), 10);
+  EXPECT_EQ(m.electron_count(), 10);
+  EXPECT_GT(m.nuclear_repulsion(), 0.0);
+}
+
+TEST(MoleculeTest, WaterOhBondLength) {
+  const Molecule m = make_water();
+  const auto& o = m.atoms()[0].xyz;
+  const auto& h = m.atoms()[1].xyz;
+  const double r = std::sqrt(std::pow(o[0] - h[0], 2) +
+                             std::pow(o[1] - h[1], 2) +
+                             std::pow(o[2] - h[2], 2));
+  EXPECT_NEAR(r * kBohrToAngstrom, 0.9572, 1e-6);
+}
+
+TEST(MoleculeTest, MethaneComposition) {
+  const Molecule m = make_methane();
+  EXPECT_EQ(m.size(), 5u);
+  EXPECT_EQ(m.electron_count(), 10);
+}
+
+TEST(MoleculeTest, WaterClusterScales) {
+  for (int n : {1, 2, 4, 8}) {
+    const Molecule m = make_water_cluster(n);
+    EXPECT_EQ(m.size(), static_cast<std::size_t>(3 * n));
+    EXPECT_EQ(m.electron_count(), 10 * n);
+  }
+}
+
+TEST(MoleculeTest, WaterClusterAtomsDistinct) {
+  const Molecule m = make_water_cluster(8);
+  // No two atoms should coincide (a bad generator stacks molecules).
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    for (std::size_t j = i + 1; j < m.size(); ++j) {
+      const auto& a = m.atoms()[i].xyz;
+      const auto& b = m.atoms()[j].xyz;
+      const double d2 = std::pow(a[0] - b[0], 2) + std::pow(a[1] - b[1], 2) +
+                        std::pow(a[2] - b[2], 2);
+      EXPECT_GT(d2, 0.25) << "atoms " << i << " and " << j << " overlap";
+    }
+  }
+}
+
+TEST(MoleculeTest, AlkaneComposition) {
+  for (int n : {1, 2, 4, 6}) {
+    const Molecule m = make_alkane(n);
+    EXPECT_EQ(m.size(), static_cast<std::size_t>(n + 2 * n + 2));
+    EXPECT_EQ(m.electron_count(), 6 * n + (2 * n + 2));
+  }
+}
+
+TEST(MoleculeTest, NamedLookup) {
+  EXPECT_EQ(make_named_molecule("h2").size(), 2u);
+  EXPECT_EQ(make_named_molecule("water").size(), 3u);
+  EXPECT_EQ(make_named_molecule("water4").size(), 12u);
+  EXPECT_EQ(make_named_molecule("alkane3").size(), 11u);
+  EXPECT_THROW(make_named_molecule("unobtainium"), std::invalid_argument);
+  EXPECT_THROW(make_named_molecule("water0"), std::invalid_argument);
+}
+
+TEST(CartesianTest, ComponentCounts) {
+  EXPECT_EQ(cartesian_components(0).size(), 1u);
+  EXPECT_EQ(cartesian_components(1).size(), 3u);
+  EXPECT_EQ(cartesian_components(2).size(), 6u);
+  EXPECT_EQ(cartesian_count(3), 10);
+}
+
+TEST(CartesianTest, ComponentsSumToL) {
+  for (int l = 0; l <= 3; ++l) {
+    for (const auto& c : cartesian_components(l)) {
+      EXPECT_EQ(c.total(), l);
+    }
+  }
+}
+
+TEST(CartesianTest, CanonicalOrderForP) {
+  const auto p = cartesian_components(1);
+  EXPECT_EQ(p[0].lx, 1);  // x
+  EXPECT_EQ(p[1].ly, 1);  // y
+  EXPECT_EQ(p[2].lz, 1);  // z
+}
+
+TEST(BasisTest, Sto3gShellCounts) {
+  const Molecule h2 = make_h2();
+  const BasisSet bs = BasisSet::build(h2, "sto-3g");
+  EXPECT_EQ(bs.shell_count(), 2u);   // one s shell per H
+  EXPECT_EQ(bs.function_count(), 2);
+
+  const Molecule water = make_water();
+  const BasisSet wb = BasisSet::build(water, "sto-3g");
+  // O: 1s, 2s, 2p ; H: 1s each -> 5 shells, 5+2 = 7 functions.
+  EXPECT_EQ(wb.shell_count(), 5u);
+  EXPECT_EQ(wb.function_count(), 7);
+}
+
+TEST(BasisTest, G631ShellCounts) {
+  const Molecule water = make_water();
+  const BasisSet wb = BasisSet::build(water, "6-31g");
+  // O: s, s, p, s, p (5 shells, 1+1+3+1+3 = 9 fn); H: s, s (2 fn each).
+  EXPECT_EQ(wb.shell_count(), 9u);
+  EXPECT_EQ(wb.function_count(), 13);
+}
+
+TEST(BasisTest, FirstFunctionOffsetsAreContiguous) {
+  const BasisSet bs = BasisSet::build(make_water(), "6-31g");
+  int expected = 0;
+  for (const Shell& s : bs.shells()) {
+    EXPECT_EQ(s.first_function, expected);
+    expected += s.function_count();
+  }
+  EXPECT_EQ(expected, bs.function_count());
+}
+
+TEST(BasisTest, UnknownBasisThrows) {
+  EXPECT_THROW(BasisSet::build(make_h2(), "cc-pvqz"), std::invalid_argument);
+}
+
+TEST(BasisTest, UnsupportedElementThrows) {
+  Molecule m;
+  m.add_atom(14, 0.0, 0.0, 0.0);  // Si not in the table
+  EXPECT_THROW(BasisSet::build(m, "sto-3g"), std::invalid_argument);
+}
+
+TEST(BasisTest, PrimitiveNormSelfOverlap) {
+  // N^2 * integral of (x^l e^{-a r^2})^2 must be 1 for any a, l.
+  for (double a : {0.3, 1.0, 4.2}) {
+    for (int l = 0; l <= 2; ++l) {
+      const double norm = primitive_norm(a, l, 0, 0);
+      // Self overlap of the raw primitive:
+      // (pi/2a)^{3/2} * (2l-1)!! / (4a)^l.
+      double dfact = 1.0;
+      for (int k = 2 * l - 1; k > 1; k -= 2) dfact *= k;
+      const double raw = std::pow(kPi / (2.0 * a), 1.5) * dfact /
+                         std::pow(4.0 * a, l);
+      EXPECT_NEAR(norm * norm * raw, 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(BasisTest, ComponentNormMismatchThrows) {
+  const BasisSet bs = BasisSet::build(make_h2(), "sto-3g");
+  EXPECT_THROW(bs.shells()[0].component_norm(1, 0, 0),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,66 @@
+// MP2 tests: minimal-basis H2 against the analytic two-level result,
+// sign/decomposition invariants, and basis-set behaviour.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chem/mp2.hpp"
+#include "chem/scf.hpp"
+
+namespace {
+
+using namespace emc::chem;
+
+TEST(Mp2Test, H2Sto3gMatchesTwoLevelFormula) {
+  // Minimal-basis H2 has one occupied and one virtual orbital, so
+  // E(2) = (12|12)^2 / (2 e1 - 2 e2) exactly; with the Szabo & Ostlund
+  // values this is about -0.013 Eh.
+  const Molecule h2 = make_h2(1.4);
+  const BasisSet bs = BasisSet::build(h2, "sto-3g");
+  const Mp2Result r = run_mp2(h2, bs);
+  EXPECT_NEAR(r.correlation_energy, -0.0132, 5e-4);
+  const ScfResult rhf = run_rhf(h2, bs);
+  EXPECT_NEAR(r.total_energy, rhf.energy + r.correlation_energy, 1e-10);
+  // One occupied pair: all correlation is opposite-spin.
+  EXPECT_NEAR(r.same_spin, 0.0, 1e-10);
+  EXPECT_NEAR(r.opposite_spin, r.correlation_energy, 1e-10);
+}
+
+TEST(Mp2Test, CorrelationEnergyIsNegative) {
+  const Molecule water = make_water();
+  for (const char* basis_name : {"sto-3g", "6-31g"}) {
+    const BasisSet bs = BasisSet::build(water, basis_name);
+    const Mp2Result r = run_mp2(water, bs);
+    EXPECT_LT(r.correlation_energy, 0.0) << basis_name;
+    EXPECT_GT(r.correlation_energy, -0.5) << basis_name;
+    EXPECT_NEAR(r.correlation_energy, r.same_spin + r.opposite_spin,
+                1e-12);
+  }
+}
+
+TEST(Mp2Test, LargerBasisRecoversMoreCorrelation) {
+  const Molecule water = make_water();
+  const Mp2Result small = run_mp2(water, BasisSet::build(water, "sto-3g"));
+  const Mp2Result big = run_mp2(water, BasisSet::build(water, "6-31g"));
+  EXPECT_LT(big.correlation_energy, small.correlation_energy);
+}
+
+TEST(Mp2Test, Water631gLiteratureWindow) {
+  // MP2/6-31G water correlation energy is around -0.13 Eh.
+  const Molecule water = make_water();
+  const Mp2Result r = run_mp2(water, BasisSet::build(water, "6-31g"));
+  EXPECT_NEAR(r.correlation_energy, -0.13, 3e-2);
+  EXPECT_LT(r.total_energy, -76.0);
+}
+
+TEST(Mp2Test, SpinComponentsBothStabilize) {
+  const Molecule water = make_water();
+  const Mp2Result r = run_mp2(water, BasisSet::build(water, "6-31g"));
+  EXPECT_LT(r.opposite_spin, 0.0);
+  EXPECT_LE(r.same_spin, 0.0);
+  // OS dominates SS for typical closed-shell molecules.
+  EXPECT_LT(r.opposite_spin, r.same_spin);
+}
+
+}  // namespace

@@ -1,0 +1,92 @@
+// Mulliken charges and geometry optimization tests.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "chem/properties.hpp"
+#include "chem/scf.hpp"
+
+namespace {
+
+using namespace emc::chem;
+
+TEST(MullikenTest, ChargesSumToNetCharge) {
+  const Molecule water = make_water();
+  const BasisSet bs = BasisSet::build(water, "sto-3g");
+  const ScfResult r = run_rhf(water, bs);
+  const auto q = mulliken_charges(r.density, bs, water);
+  ASSERT_EQ(q.size(), 3u);
+  const double total = std::accumulate(q.begin(), q.end(), 0.0);
+  EXPECT_NEAR(total, 0.0, 1e-8);
+}
+
+TEST(MullikenTest, WaterPolarity) {
+  const Molecule water = make_water();
+  const BasisSet bs = BasisSet::build(water, "sto-3g");
+  const ScfResult r = run_rhf(water, bs);
+  const auto q = mulliken_charges(r.density, bs, water);
+  // Oxygen (atom 0) carries negative charge, hydrogens positive and
+  // equal by symmetry.
+  EXPECT_LT(q[0], -0.2);
+  EXPECT_GT(q[1], 0.1);
+  EXPECT_NEAR(q[1], q[2], 1e-8);
+}
+
+TEST(MullikenTest, HomonuclearIsNeutral) {
+  const Molecule h2 = make_h2(1.4);
+  const BasisSet bs = BasisSet::build(h2, "sto-3g");
+  const ScfResult r = run_rhf(h2, bs);
+  const auto q = mulliken_charges(r.density, bs, h2);
+  EXPECT_NEAR(q[0], 0.0, 1e-8);
+  EXPECT_NEAR(q[1], 0.0, 1e-8);
+}
+
+TEST(GradientTest, EquilibriumHasSmallGradientStretchedDoesNot) {
+  // Near the STO-3G H2 minimum (~1.346 a0) the gradient is tiny; at
+  // 2.0 a0 it is clearly positive along the bond (restoring force).
+  const auto g_eq = numerical_gradient(make_h2(1.346), "sto-3g");
+  EXPECT_LT(std::abs(g_eq[1][2]), 5e-3);
+
+  const auto g_far = numerical_gradient(make_h2(2.0), "sto-3g");
+  EXPECT_GT(g_far[1][2], 0.02);  // dE/dz > 0: pull the far H back
+  // Newton's third law: forces opposite and equal.
+  EXPECT_NEAR(g_far[0][2], -g_far[1][2], 1e-6);
+  // No force perpendicular to the bond.
+  EXPECT_NEAR(g_far[0][0], 0.0, 1e-6);
+  EXPECT_NEAR(g_far[0][1], 0.0, 1e-6);
+}
+
+TEST(OptimizeTest, H2FindsKnownMinimum) {
+  // The RHF/STO-3G H2 equilibrium bond length is 1.346 a0
+  // (Szabo & Ostlund Table 3.11 gives 1.35).
+  OptimizeOptions options;
+  options.gradient_tolerance = 2e-4;
+  const OptimizeResult r =
+      optimize_geometry(make_h2(1.2), "sto-3g", options);
+  EXPECT_TRUE(r.converged);
+
+  const auto& a = r.geometry.atoms()[0].xyz;
+  const auto& b = r.geometry.atoms()[1].xyz;
+  const double bond = std::sqrt(std::pow(a[0] - b[0], 2) +
+                                std::pow(a[1] - b[1], 2) +
+                                std::pow(a[2] - b[2], 2));
+  EXPECT_NEAR(bond, 1.346, 0.01);
+  // Szabo & Ostlund: E = -1.11751 at the STO-3G optimum.
+  EXPECT_NEAR(r.energy, -1.1175, 5e-4);
+}
+
+TEST(OptimizeTest, EnergyNeverIncreases) {
+  OptimizeOptions options;
+  options.max_steps = 5;
+  options.gradient_tolerance = 1e-9;  // force several steps
+  const double e_start = run_rhf(make_h2(1.1),
+                                 BasisSet::build(make_h2(1.1), "sto-3g"))
+                             .energy;
+  const OptimizeResult r =
+      optimize_geometry(make_h2(1.1), "sto-3g", options);
+  EXPECT_LE(r.energy, e_start + 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,151 @@
+// Tests for the extended chemistry features: 6-31G* (d shells), XYZ
+// parsing/printing, and dipole moments.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chem/basis.hpp"
+#include "chem/constants.hpp"
+#include "chem/integrals.hpp"
+#include "chem/molecule.hpp"
+#include "chem/scf.hpp"
+
+namespace {
+
+using namespace emc::chem;
+
+TEST(G631StarTest, AddsDShellsOnHeavyAtomsOnly) {
+  const Molecule water = make_water();
+  const BasisSet bs = BasisSet::build(water, "6-31g*");
+  // 6-31G water: 9 shells / 13 fn; the O d shell adds 1 shell / 6 fn.
+  EXPECT_EQ(bs.shell_count(), 10u);
+  EXPECT_EQ(bs.function_count(), 19);
+
+  int d_shells = 0;
+  for (const Shell& s : bs.shells()) {
+    if (s.l == 2) {
+      ++d_shells;
+      EXPECT_EQ(s.exponents.size(), 1u);
+      EXPECT_DOUBLE_EQ(s.exponents[0], 0.8);
+    }
+  }
+  EXPECT_EQ(d_shells, 1);
+}
+
+TEST(G631StarTest, DShellOverlapDiagonalIsOne) {
+  // Every cartesian d component (xx, xy, ...) must be unit-normalized —
+  // this exercises the component-dependent normalization path.
+  const BasisSet bs = BasisSet::build(make_water(), "6-31g*");
+  const auto s = overlap_matrix(bs);
+  for (int i = 0; i < bs.function_count(); ++i) {
+    EXPECT_NEAR(s(static_cast<std::size_t>(i), static_cast<std::size_t>(i)),
+                1.0, 1e-10)
+        << "function " << i;
+  }
+}
+
+TEST(G631StarTest, WaterEnergyMatchesLiterature) {
+  // RHF/6-31G* water at the experimental geometry: about -76.01 Eh
+  // (cartesian d functions).
+  const Molecule water = make_water();
+  const BasisSet bs = BasisSet::build(water, "6-31g*");
+  const ScfResult r = run_rhf(water, bs);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.energy, -76.01, 5e-2);
+  // Variational ladder: 6-31G* below 6-31G below STO-3G.
+  const ScfResult g631 = run_rhf(water, BasisSet::build(water, "6-31g"));
+  EXPECT_LT(r.energy, g631.energy);
+}
+
+TEST(XyzTest, RoundTrip) {
+  const Molecule original = make_water();
+  const std::string text = to_xyz(original, "water monomer");
+  const Molecule parsed = parse_xyz(text);
+  ASSERT_EQ(parsed.size(), original.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed.atoms()[i].z, original.atoms()[i].z);
+    for (int d = 0; d < 3; ++d) {
+      EXPECT_NEAR(parsed.atoms()[i].xyz[static_cast<std::size_t>(d)],
+                  original.atoms()[i].xyz[static_cast<std::size_t>(d)],
+                  1e-6);
+    }
+  }
+}
+
+TEST(XyzTest, ParsesHandWrittenInput) {
+  const std::string text =
+      "2\n"
+      "hydrogen molecule\n"
+      "H 0.0 0.0 0.0\n"
+      "H 0.0 0.0 0.7408481\n";
+  const Molecule m = parse_xyz(text);
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.atoms()[0].z, 1);
+  EXPECT_NEAR(m.atoms()[1].xyz[2], 0.7408481 * kAngstromToBohr, 1e-9);
+}
+
+TEST(XyzTest, RejectsMalformedInput) {
+  EXPECT_THROW(parse_xyz(""), std::invalid_argument);
+  EXPECT_THROW(parse_xyz("abc\ncomment\n"), std::invalid_argument);
+  EXPECT_THROW(parse_xyz("0\ncomment\n"), std::invalid_argument);
+  EXPECT_THROW(parse_xyz("2\ncomment\nH 0 0 0\n"), std::invalid_argument);
+  EXPECT_THROW(parse_xyz("1\ncomment\nH 0 0\n"), std::invalid_argument);
+  EXPECT_THROW(parse_xyz("1\ncomment\nQq 0 0 0\n"), std::invalid_argument);
+}
+
+TEST(DipoleTest, HomonuclearDiatomicIsZero) {
+  const Molecule h2 = make_h2(1.4);
+  const BasisSet bs = BasisSet::build(h2, "sto-3g");
+  const ScfResult r = run_rhf(h2, bs);
+  const Vec3 mu = dipole_moment(r.density, bs, h2);
+  for (double component : mu) {
+    EXPECT_NEAR(component, 0.0, 1e-8);
+  }
+}
+
+TEST(DipoleTest, WaterDipoleAlongSymmetryAxis) {
+  // make_water puts the C2v axis along z (H atoms at +z side of O).
+  const Molecule water = make_water();
+  const BasisSet bs = BasisSet::build(water, "6-31g");
+  const ScfResult r = run_rhf(water, bs);
+  const Vec3 mu = dipole_moment(r.density, bs, water);
+  EXPECT_NEAR(mu[0], 0.0, 1e-6);
+  EXPECT_NEAR(mu[1], 0.0, 1e-6);
+  // RHF/6-31G overestimates water's dipole (~1.0 a.u. vs 0.73 exp).
+  EXPECT_GT(std::abs(mu[2]), 0.6);
+  EXPECT_LT(std::abs(mu[2]), 1.3);
+}
+
+TEST(DipoleTest, OriginIndependentForNeutralMolecule) {
+  const Molecule water = make_water();
+  const BasisSet bs = BasisSet::build(water, "sto-3g");
+  const ScfResult r = run_rhf(water, bs);
+  const Vec3 a = dipole_moment(r.density, bs, water, {0.0, 0.0, 0.0});
+  const Vec3 b = dipole_moment(r.density, bs, water, {3.0, -2.0, 5.0});
+  for (int d = 0; d < 3; ++d) {
+    EXPECT_NEAR(a[static_cast<std::size_t>(d)],
+                b[static_cast<std::size_t>(d)], 1e-8);
+  }
+}
+
+TEST(DipoleTest, MatricesAreSymmetric) {
+  const BasisSet bs = BasisSet::build(make_water(), "6-31g*");
+  const auto m = dipole_matrices(bs);
+  for (const auto& component : m) {
+    EXPECT_TRUE(component.is_symmetric(1e-10));
+  }
+}
+
+TEST(DipoleTest, SPrimitiveMomentEqualsCenter) {
+  // For a single normalized s function at R, <x> = R_x exactly.
+  Molecule m;
+  m.add_atom(1, 1.5, -2.0, 0.75);
+  const BasisSet bs = BasisSet::build(m, "sto-3g");
+  const auto moments = dipole_matrices(bs);
+  EXPECT_NEAR(moments[0](0, 0), 1.5, 1e-10);
+  EXPECT_NEAR(moments[1](0, 0), -2.0, 1e-10);
+  EXPECT_NEAR(moments[2](0, 0), 0.75, 1e-10);
+}
+
+}  // namespace

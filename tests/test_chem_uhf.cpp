@@ -1,0 +1,119 @@
+// UHF tests: closed-shell equivalence with RHF, open-shell references,
+// spin contamination accounting, and dissociation behaviour.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chem/scf.hpp"
+#include "chem/uhf.hpp"
+
+namespace {
+
+using namespace emc::chem;
+
+TEST(UhfTest, ClosedShellMatchesRhf) {
+  const Molecule water = make_water();
+  const BasisSet bs = BasisSet::build(water, "sto-3g");
+  const ScfResult rhf = run_rhf(water, bs);
+  const UhfResult uhf = run_uhf(water, bs);
+  EXPECT_TRUE(uhf.converged);
+  EXPECT_NEAR(uhf.energy, rhf.energy, 1e-7);
+  EXPECT_EQ(uhf.n_alpha, 5);
+  EXPECT_EQ(uhf.n_beta, 5);
+  EXPECT_NEAR(uhf.s_squared, 0.0, 1e-8);  // pure singlet
+}
+
+TEST(UhfTest, HydrogenAtomDoublet) {
+  Molecule h;
+  h.add_atom(1, 0.0, 0.0, 0.0);
+  const BasisSet bs = BasisSet::build(h, "sto-3g");
+  UhfOptions options;
+  options.multiplicity = 2;
+  const UhfResult r = run_uhf(h, bs, options);
+  EXPECT_TRUE(r.converged);
+  // E(H, STO-3G) = -0.46658 Eh (basis-set limit is -0.5).
+  EXPECT_NEAR(r.energy, -0.46658, 1e-4);
+  EXPECT_EQ(r.n_alpha, 1);
+  EXPECT_EQ(r.n_beta, 0);
+  // Single electron: exactly S(S+1) = 0.75.
+  EXPECT_NEAR(r.s_squared, 0.75, 1e-10);
+}
+
+TEST(UhfTest, H2PlusCation) {
+  // One-electron bond: UHF is exact within the basis.
+  const Molecule h2 = make_h2(2.0);
+  const BasisSet bs = BasisSet::build(h2, "sto-3g");
+  UhfOptions options;
+  options.net_charge = 1;
+  options.multiplicity = 2;
+  const UhfResult r = run_uhf(h2, bs, options);
+  EXPECT_TRUE(r.converged);
+  // H2+ @ 2.0 a0 / STO-3G: around -0.55 Eh, bound vs H + H+.
+  EXPECT_LT(r.energy, -0.46658);
+  EXPECT_GT(r.energy, -0.70);
+  EXPECT_NEAR(r.s_squared, 0.75, 1e-10);
+}
+
+TEST(UhfTest, TripletH2HasTwoAlphaElectrons) {
+  const Molecule h2 = make_h2(2.5);
+  const BasisSet bs = BasisSet::build(h2, "sto-3g");
+  UhfOptions options;
+  options.multiplicity = 3;
+  const UhfResult r = run_uhf(h2, bs, options);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.n_alpha, 2);
+  EXPECT_EQ(r.n_beta, 0);
+  // Pure triplet: S(S+1) = 2.
+  EXPECT_NEAR(r.s_squared, 2.0, 1e-10);
+  // Triplet H2 is unbound: higher energy than two H atoms.
+  EXPECT_GT(r.energy, 2.0 * -0.46658);
+}
+
+TEST(UhfTest, StretchedH2SymmetryBreaking) {
+  // At 5 a0 the RHF singlet is badly above 2 E(H); UHF with guess mixing
+  // must break spin symmetry and land near the dissociation limit.
+  const Molecule h2 = make_h2(5.0);
+  const BasisSet bs = BasisSet::build(h2, "sto-3g");
+
+  const ScfResult rhf = run_rhf(h2, bs);
+  UhfOptions options;
+  options.guess_mix = 0.3;
+  const UhfResult uhf = run_uhf(h2, bs, options);
+  EXPECT_TRUE(uhf.converged);
+
+  const double two_atoms = 2.0 * -0.46658;
+  EXPECT_GT(rhf.energy, two_atoms + 0.05);  // RHF dissociation failure
+  EXPECT_NEAR(uhf.energy, two_atoms, 5e-3); // UHF fixes it
+  // Broken-symmetry singlet is heavily spin contaminated (<S^2> -> 1).
+  EXPECT_GT(uhf.s_squared, 0.5);
+}
+
+TEST(UhfTest, InconsistentMultiplicityThrows) {
+  const Molecule water = make_water();  // 10 electrons
+  const BasisSet bs = BasisSet::build(water, "sto-3g");
+  UhfOptions options;
+  options.multiplicity = 2;  // even electron count cannot be a doublet
+  EXPECT_THROW(run_uhf(water, bs, options), std::invalid_argument);
+  options.multiplicity = 0;
+  EXPECT_THROW(run_uhf(water, bs, options), std::invalid_argument);
+}
+
+TEST(UhfTest, OrbitalEnergiesSortedPerSpin) {
+  Molecule h;
+  h.add_atom(1, 0.0, 0.0, 0.0);
+  const BasisSet bs = BasisSet::build(h, "6-31g");
+  UhfOptions options;
+  options.multiplicity = 2;
+  const UhfResult r = run_uhf(h, bs, options);
+  for (std::size_t i = 1; i < r.alpha_orbital_energies.size(); ++i) {
+    EXPECT_LE(r.alpha_orbital_energies[i - 1],
+              r.alpha_orbital_energies[i]);
+  }
+  // The occupied alpha orbital is bound; beta spectrum exists too.
+  EXPECT_LT(r.alpha_orbital_energies[0], 0.0);
+  EXPECT_EQ(r.beta_orbital_energies.size(),
+            r.alpha_orbital_energies.size());
+}
+
+}  // namespace

@@ -1,0 +1,286 @@
+// Execution-model tests: Chase–Lev deque correctness (sequential and
+// under concurrent theft) and the exactly-once guarantee of every
+// scheduler.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "exec/schedulers.hpp"
+#include "exec/ws_deque.hpp"
+#include "lb/simple.hpp"
+
+namespace {
+
+using namespace emc::exec;
+
+TEST(WsDequeTest, LifoForOwner) {
+  WsDeque d(8);
+  EXPECT_TRUE(d.push(1));
+  EXPECT_TRUE(d.push(2));
+  EXPECT_TRUE(d.push(3));
+  EXPECT_EQ(d.pop().value(), 3);
+  EXPECT_EQ(d.pop().value(), 2);
+  EXPECT_EQ(d.pop().value(), 1);
+  EXPECT_FALSE(d.pop().has_value());
+}
+
+TEST(WsDequeTest, FifoForThief) {
+  WsDeque d(8);
+  d.push(1);
+  d.push(2);
+  d.push(3);
+  EXPECT_EQ(d.steal().value(), 1);
+  EXPECT_EQ(d.steal().value(), 2);
+  EXPECT_EQ(d.pop().value(), 3);
+  EXPECT_FALSE(d.steal().has_value());
+}
+
+TEST(WsDequeTest, CapacityRespected) {
+  WsDeque d(2);
+  EXPECT_TRUE(d.push(1));
+  EXPECT_TRUE(d.push(2));
+  EXPECT_FALSE(d.push(3));
+  d.steal();
+  EXPECT_TRUE(d.push(3));  // space reclaimed after steal
+}
+
+TEST(WsDequeTest, SizeEstimate) {
+  WsDeque d(16);
+  EXPECT_EQ(d.size_estimate(), 0);
+  d.push(1);
+  d.push(2);
+  EXPECT_EQ(d.size_estimate(), 2);
+}
+
+TEST(WsDequeTest, ConcurrentTheftExactlyOnce) {
+  // Owner pushes N items and pops; thieves steal concurrently. Every item
+  // must be consumed exactly once.
+  const std::int64_t n = 20000;
+  const int n_thieves = 3;
+  WsDeque d(static_cast<std::size_t>(n));
+  std::vector<std::atomic<int>> seen(static_cast<std::size_t>(n));
+  std::atomic<std::int64_t> consumed{0};
+
+  std::thread owner([&] {
+    for (std::int64_t i = 0; i < n; ++i) {
+      d.push(i);
+      // Interleave pops to exercise the pop/steal race on size 1.
+      if (i % 3 == 0) {
+        if (auto v = d.pop()) {
+          seen[static_cast<std::size_t>(*v)].fetch_add(1);
+          consumed.fetch_add(1);
+        }
+      }
+    }
+    while (auto v = d.pop()) {
+      seen[static_cast<std::size_t>(*v)].fetch_add(1);
+      consumed.fetch_add(1);
+    }
+  });
+
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < n_thieves; ++t) {
+    thieves.emplace_back([&] {
+      while (consumed.load() < n) {
+        if (auto v = d.steal()) {
+          seen[static_cast<std::size_t>(*v)].fetch_add(1);
+          consumed.fetch_add(1);
+        }
+      }
+    });
+  }
+  owner.join();
+  for (auto& t : thieves) t.join();
+
+  EXPECT_EQ(consumed.load(), n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(seen[static_cast<std::size_t>(i)].load(), 1) << "item " << i;
+  }
+}
+
+class SchedulerFixture : public ::testing::Test {
+ protected:
+  static constexpr std::int64_t kTasks = 500;
+  static constexpr int kRanks = 4;
+
+  SchedulerFixture() : runtime(kRanks), hits(kTasks) {}
+
+  TaskBody counting_body() {
+    return [this](std::int64_t t, int) {
+      hits[static_cast<std::size_t>(t)].fetch_add(1);
+    };
+  }
+
+  void expect_exactly_once() {
+    for (std::int64_t t = 0; t < kTasks; ++t) {
+      ASSERT_EQ(hits[static_cast<std::size_t>(t)].load(), 1)
+          << "task " << t;
+    }
+  }
+
+  emc::pgas::Runtime runtime;
+  std::vector<std::atomic<int>> hits;
+};
+
+TEST_F(SchedulerFixture, StaticExecutesAllExactlyOnce) {
+  const auto assignment = emc::lb::block_assignment(kTasks, kRanks);
+  const ExecutionStats stats =
+      run_static(runtime, kTasks, assignment, counting_body());
+  expect_exactly_once();
+  EXPECT_EQ(stats.total_tasks(), kTasks);
+  EXPECT_EQ(stats.ranks.size(), static_cast<std::size_t>(kRanks));
+  EXPECT_GT(stats.wall_seconds, 0.0);
+}
+
+TEST_F(SchedulerFixture, StaticHonorsAssignment) {
+  const auto assignment = emc::lb::cyclic_assignment(kTasks, kRanks);
+  std::vector<std::atomic<int>> executor(kTasks);
+  run_static(runtime, kTasks, assignment,
+             [&](std::int64_t t, int rank) {
+               executor[static_cast<std::size_t>(t)].store(rank);
+             });
+  for (std::int64_t t = 0; t < kTasks; ++t) {
+    EXPECT_EQ(executor[static_cast<std::size_t>(t)].load(),
+              assignment[static_cast<std::size_t>(t)]);
+  }
+}
+
+TEST_F(SchedulerFixture, CounterExecutesAllExactlyOnce) {
+  const ExecutionStats stats =
+      run_counter(runtime, kTasks, /*chunk=*/7, counting_body());
+  expect_exactly_once();
+  EXPECT_EQ(stats.total_tasks(), kTasks);
+  // Every rank performed at least its terminating counter op.
+  for (const auto& r : stats.ranks) {
+    EXPECT_GE(r.counter_ops, 1);
+  }
+}
+
+TEST_F(SchedulerFixture, CounterChunkOneWorks) {
+  run_counter(runtime, kTasks, 1, counting_body());
+  expect_exactly_once();
+}
+
+TEST_F(SchedulerFixture, CounterRejectsBadChunk) {
+  EXPECT_THROW(run_counter(runtime, kTasks, 0, counting_body()),
+               std::invalid_argument);
+}
+
+TEST_F(SchedulerFixture, WorkStealingExecutesAllExactlyOnce) {
+  const auto initial = emc::lb::block_assignment(kTasks, kRanks);
+  const ExecutionStats stats =
+      run_work_stealing(runtime, kTasks, initial, counting_body());
+  expect_exactly_once();
+  EXPECT_EQ(stats.total_tasks(), kTasks);
+}
+
+TEST_F(SchedulerFixture, WorkStealingFromSkewedAssignmentSteals) {
+  // Everything starts on rank 0; other ranks can only contribute by
+  // stealing, so at least one steal must succeed.
+  const emc::lb::Assignment initial(kTasks, 0);
+  std::vector<int> executed_by;
+  WorkStealingOptions options;
+  const ExecutionStats stats = run_work_stealing(
+      runtime, kTasks, initial,
+      [](std::int64_t, int) {
+        // Small but nonzero work so thieves get a window.
+        volatile double x = 0.0;
+        for (int i = 0; i < 2000; ++i) x = x + 1.0;
+      },
+      options, &executed_by);
+  EXPECT_GT(stats.total_steals(), 0);
+  ASSERT_EQ(executed_by.size(), static_cast<std::size_t>(kTasks));
+  for (int rank : executed_by) {
+    EXPECT_GE(rank, 0);
+    EXPECT_LT(rank, kRanks);
+  }
+}
+
+TEST_F(SchedulerFixture, WorkStealingStealOneVariant) {
+  const auto initial = emc::lb::block_assignment(kTasks, kRanks);
+  WorkStealingOptions options;
+  options.steal_half = false;
+  run_work_stealing(runtime, kTasks, initial, counting_body(), options);
+  expect_exactly_once();
+}
+
+TEST_F(SchedulerFixture, RetentiveRunsEveryIteration) {
+  const auto initial = emc::lb::block_assignment(kTasks, kRanks);
+  std::atomic<std::int64_t> total{0};
+  const auto rounds = run_retentive_work_stealing(
+      runtime, kTasks, initial,
+      [&](std::int64_t, int) { total.fetch_add(1); }, 3);
+  ASSERT_EQ(rounds.size(), 3u);
+  EXPECT_EQ(total.load(), 3 * kTasks);
+  for (const auto& r : rounds) {
+    EXPECT_EQ(r.total_tasks(), kTasks);
+  }
+}
+
+TEST_F(SchedulerFixture, MismatchedAssignmentThrows) {
+  const emc::lb::Assignment wrong(10, 0);
+  EXPECT_THROW(run_static(runtime, kTasks, wrong, counting_body()),
+               std::invalid_argument);
+  EXPECT_THROW(run_work_stealing(runtime, kTasks, wrong, counting_body()),
+               std::invalid_argument);
+}
+
+TEST(SchedulerSingleRank, AllModelsDegenerate) {
+  emc::pgas::Runtime rt(1);
+  const std::int64_t n = 50;
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+  const TaskBody body = [&](std::int64_t t, int) {
+    hits[static_cast<std::size_t>(t)].fetch_add(1);
+  };
+
+  run_static(rt, n, emc::lb::Assignment(static_cast<std::size_t>(n), 0),
+             body);
+  run_counter(rt, n, 4, body);
+  run_work_stealing(rt, n,
+                    emc::lb::Assignment(static_cast<std::size_t>(n), 0),
+                    body);
+  for (std::int64_t t = 0; t < n; ++t) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(t)].load(), 3);
+  }
+}
+
+TEST(SchedulerExceptionTest, CounterPropagatesWithoutDeadlock) {
+  emc::pgas::Runtime rt(4);
+  EXPECT_THROW(
+      run_counter(rt, 1000, 1,
+                  [](std::int64_t t, int) {
+                    if (t == 137) throw std::runtime_error("task exploded");
+                  }),
+      std::runtime_error);
+}
+
+TEST(SchedulerExceptionTest, WorkStealingPropagatesWithoutDeadlock) {
+  emc::pgas::Runtime rt(4);
+  const auto initial = emc::lb::block_assignment(1000, 4);
+  EXPECT_THROW(
+      run_work_stealing(rt, 1000, initial,
+                        [](std::int64_t t, int) {
+                          if (t == 500) {
+                            throw std::runtime_error("task exploded");
+                          }
+                        }),
+      std::runtime_error);
+}
+
+TEST(ExecutionStatsTest, UtilizationMath) {
+  ExecutionStats s;
+  s.wall_seconds = 2.0;
+  s.ranks.resize(2);
+  s.ranks[0].busy_seconds = 2.0;
+  s.ranks[1].busy_seconds = 1.0;
+  EXPECT_DOUBLE_EQ(s.utilization(), 0.75);
+  ExecutionStats empty;
+  EXPECT_DOUBLE_EQ(empty.utilization(), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,150 @@
+// Physics property tests: the total energy and every scheduling-relevant
+// derived quantity must be invariant under rigid translation and
+// rotation of the molecule. These exercise every angular-momentum branch
+// of the integral engine at once (a sign or index bug in the Hermite
+// recurrences breaks rotation invariance immediately for p/d shells).
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "chem/basis.hpp"
+#include "chem/integrals.hpp"
+#include "chem/molecule.hpp"
+#include "chem/scf.hpp"
+#include "core/calibration.hpp"
+#include "core/task_model.hpp"
+
+namespace {
+
+using namespace emc::chem;
+
+Molecule translated(const Molecule& m, double dx, double dy, double dz) {
+  Molecule out;
+  for (const Atom& a : m.atoms()) {
+    out.add_atom(a.z, a.xyz[0] + dx, a.xyz[1] + dy, a.xyz[2] + dz);
+  }
+  return out;
+}
+
+Molecule rotated(const Molecule& m, double alpha, double beta) {
+  const double ca = std::cos(alpha), sa = std::sin(alpha);
+  const double cb = std::cos(beta), sb = std::sin(beta);
+  Molecule out;
+  for (const Atom& a : m.atoms()) {
+    // Rz(alpha) then Ry(beta).
+    const double x1 = ca * a.xyz[0] - sa * a.xyz[1];
+    const double y1 = sa * a.xyz[0] + ca * a.xyz[1];
+    const double z1 = a.xyz[2];
+    out.add_atom(a.z, cb * x1 + sb * z1, y1, -sb * x1 + cb * z1);
+  }
+  return out;
+}
+
+double rhf_energy(const Molecule& m, const std::string& basis_name) {
+  const BasisSet bs = BasisSet::build(m, basis_name);
+  const ScfResult r = run_rhf(m, bs);
+  EXPECT_TRUE(r.converged);
+  return r.energy;
+}
+
+class InvarianceTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(InvarianceTest, EnergyInvariantUnderTranslation) {
+  const Molecule base = make_water();
+  const double e0 = rhf_energy(base, GetParam());
+  const double e1 =
+      rhf_energy(translated(base, 3.7, -1.2, 9.4), GetParam());
+  EXPECT_NEAR(e0, e1, 1e-8);
+}
+
+TEST_P(InvarianceTest, EnergyInvariantUnderRotation) {
+  const Molecule base = make_water();
+  const double e0 = rhf_energy(base, GetParam());
+  const double e1 = rhf_energy(rotated(base, 0.83, -1.91), GetParam());
+  EXPECT_NEAR(e0, e1, 1e-8);
+}
+
+// 6-31g* includes d shells: rotation invariance exercises every l <= 2
+// branch of the Hermite recurrences.
+INSTANTIATE_TEST_SUITE_P(Bases, InvarianceTest,
+                         ::testing::Values("sto-3g", "6-31g", "6-31g*"));
+
+TEST(InvarianceTest, DipoleMagnitudeInvariantUnderRotation) {
+  const Molecule base = make_water();
+  const Molecule rot = rotated(base, 1.2, 0.4);
+  const BasisSet b0 = BasisSet::build(base, "sto-3g");
+  const BasisSet b1 = BasisSet::build(rot, "sto-3g");
+  const ScfResult r0 = run_rhf(base, b0);
+  const ScfResult r1 = run_rhf(rot, b1);
+  const Vec3 m0 = dipole_moment(r0.density, b0, base);
+  const Vec3 m1 = dipole_moment(r1.density, b1, rot);
+  const double n0 =
+      std::sqrt(m0[0] * m0[0] + m0[1] * m0[1] + m0[2] * m0[2]);
+  const double n1 =
+      std::sqrt(m1[0] * m1[0] + m1[1] * m1[1] + m1[2] * m1[2]);
+  EXPECT_NEAR(n0, n1, 1e-7);
+}
+
+TEST(InvarianceTest, TaskCostsInvariantUnderTranslation) {
+  // The scheduling workload derived from a molecule must not depend on
+  // where the molecule sits in space.
+  using emc::core::build_task_model;
+  const auto a = build_task_model(make_water_cluster(2));
+  const auto b = build_task_model(
+      translated(make_water_cluster(2), -5.0, 2.0, 11.0));
+  ASSERT_EQ(a.costs.size(), b.costs.size());
+  for (std::size_t t = 0; t < a.costs.size(); ++t) {
+    EXPECT_NEAR(a.costs[t], b.costs[t], 1e-9 * (1.0 + a.costs[t]));
+  }
+}
+
+TEST(CalibrationTest, RecoversExactScale) {
+  const std::vector<double> est{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> meas;
+  for (double e : est) meas.push_back(2.5 * e);
+  const auto report = emc::core::calibrate_cost_model(est, meas);
+  EXPECT_NEAR(report.scale, 2.5, 1e-12);
+  EXPECT_NEAR(report.pearson, 1.0, 1e-12);
+  EXPECT_NEAR(report.spearman, 1.0, 1e-12);
+  EXPECT_EQ(report.samples, 4u);
+}
+
+TEST(CalibrationTest, DetectsAnticorrelation) {
+  const std::vector<double> est{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> meas{4.0, 3.0, 2.0, 1.0};
+  const auto report = emc::core::calibrate_cost_model(est, meas);
+  EXPECT_LT(report.pearson, -0.99);
+  EXPECT_LT(report.spearman, -0.99);
+}
+
+TEST(CalibrationTest, RejectsBadInput) {
+  const std::vector<double> a{1.0};
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW(emc::core::calibrate_cost_model(a, b),
+               std::invalid_argument);
+  EXPECT_THROW(emc::core::calibrate_cost_model({}, {}),
+               std::invalid_argument);
+}
+
+TEST(CalibrationTest, RealKernelCalibrationIsTight) {
+  using emc::core::build_task_model;
+  using emc::core::TaskModelOptions;
+  TaskModelOptions measured_opts;
+  measured_opts.measure_costs = true;
+  const auto measured = build_task_model("water2", measured_opts);
+
+  TaskModelOptions analytic_opts;
+  analytic_opts.analytic_cost_scale = 1.0;  // raw units
+  const auto analytic = build_task_model("water2", analytic_opts);
+
+  const auto report =
+      emc::core::calibrate_cost_model(analytic.costs, measured.costs);
+  EXPECT_GT(report.pearson, 0.7);
+  EXPECT_GT(report.spearman, 0.85);
+  EXPECT_GT(report.scale, 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,221 @@
+// Semi-matching tests, including brute-force optimality verification of
+// the Harvey et al. algorithm on small random instances.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+
+#include "lb/semi_matching.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace emc::lb;
+using emc::Rng;
+
+BipartiteTaskGraph random_instance(int n_tasks, int n_procs, int max_degree,
+                                   bool unit_weights, Rng& rng) {
+  BipartiteTaskGraph g;
+  g.n_procs = n_procs;
+  g.eligible.resize(static_cast<std::size_t>(n_tasks));
+  g.weights.resize(static_cast<std::size_t>(n_tasks));
+  for (int t = 0; t < n_tasks; ++t) {
+    const auto tu = static_cast<std::size_t>(t);
+    const int deg =
+        1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(
+                std::min(max_degree, n_procs))));
+    while (static_cast<int>(g.eligible[tu].size()) < deg) {
+      const int p =
+          static_cast<int>(rng.below(static_cast<std::uint64_t>(n_procs)));
+      if (std::find(g.eligible[tu].begin(), g.eligible[tu].end(), p) ==
+          g.eligible[tu].end()) {
+        g.eligible[tu].push_back(p);
+      }
+    }
+    g.weights[tu] = unit_weights ? 1.0 : rng.uniform(0.5, 8.0);
+  }
+  return g;
+}
+
+/// Exhaustive search for the lexicographically-minimal sorted load vector
+/// over all semi-matchings (unit weights, small instances only).
+std::vector<int> brute_force_optimal_loads(const BipartiteTaskGraph& g) {
+  const auto n_tasks = g.task_count();
+  std::vector<int> best_loads;
+  std::vector<int> loads(static_cast<std::size_t>(g.n_procs), 0);
+
+  auto sorted_desc = [](std::vector<int> v) {
+    std::sort(v.rbegin(), v.rend());
+    return v;
+  };
+
+  std::function<void(std::size_t)> recurse = [&](std::size_t t) {
+    if (t == n_tasks) {
+      auto cand = sorted_desc(loads);
+      if (best_loads.empty() || cand < best_loads) best_loads = cand;
+      return;
+    }
+    for (int p : g.eligible[t]) {
+      ++loads[static_cast<std::size_t>(p)];
+      recurse(t + 1);
+      --loads[static_cast<std::size_t>(p)];
+    }
+  };
+  recurse(0);
+  return best_loads;
+}
+
+TEST(BipartiteGraphTest, ValidationCatchesErrors) {
+  BipartiteTaskGraph g;
+  g.n_procs = 0;
+  EXPECT_THROW(g.validate(), std::invalid_argument);
+
+  g.n_procs = 2;
+  g.eligible = {{0}, {}};
+  g.weights = {1.0, 1.0};
+  EXPECT_THROW(g.validate(), std::invalid_argument);  // empty adjacency
+
+  g.eligible = {{0}, {5}};
+  EXPECT_THROW(g.validate(), std::invalid_argument);  // out of range
+
+  g.eligible = {{0}};
+  EXPECT_THROW(g.validate(), std::invalid_argument);  // size mismatch
+}
+
+TEST(CompleteInstanceTest, AllProcsEligible) {
+  const auto g = make_complete_instance({1.0, 2.0, 3.0}, 4);
+  EXPECT_EQ(g.task_count(), 3u);
+  for (const auto& e : g.eligible) {
+    EXPECT_EQ(e.size(), 4u);
+  }
+  g.validate();
+}
+
+TEST(OptimalSemiMatchingTest, RespectEligibility) {
+  Rng rng(1);
+  const auto g = random_instance(30, 6, 3, /*unit=*/true, rng);
+  const Assignment a = optimal_semi_matching(g);
+  ASSERT_EQ(a.size(), 30u);
+  for (std::size_t t = 0; t < a.size(); ++t) {
+    EXPECT_NE(std::find(g.eligible[t].begin(), g.eligible[t].end(), a[t]),
+              g.eligible[t].end())
+        << "task " << t << " assigned to ineligible proc";
+  }
+}
+
+class OptimalityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptimalityTest, MatchesBruteForceLexMinimum) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  // Small enough for exhaustive search: <= 9 tasks, <= 4 procs, deg <= 3.
+  const int n_tasks = 4 + static_cast<int>(rng.below(6));
+  const int n_procs = 2 + static_cast<int>(rng.below(3));
+  const auto g = random_instance(n_tasks, n_procs, 3, /*unit=*/true, rng);
+
+  const Assignment a = optimal_semi_matching(g);
+  auto loads = part_loads(g.weights, a, g.n_procs);
+  std::vector<int> got(loads.size());
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    got[i] = static_cast<int>(loads[i] + 0.5);
+  }
+  std::sort(got.rbegin(), got.rend());
+
+  const auto want = brute_force_optimal_loads(g);
+  EXPECT_EQ(got, want) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimalityTest, ::testing::Range(1, 25));
+
+TEST(GreedySemiMatchingTest, CompleteInstanceEqualsLpt) {
+  // On a complete instance greedy semi-matching IS the LPT rule, so its
+  // makespan must satisfy the LPT bound vs the trivial lower bound.
+  Rng rng(5);
+  std::vector<double> w(60);
+  double total = 0.0, biggest = 0.0;
+  for (auto& x : w) {
+    x = rng.uniform(0.2, 9.0);
+    total += x;
+    biggest = std::max(biggest, x);
+  }
+  const auto g = make_complete_instance(w, 5);
+  const Assignment a = greedy_semi_matching(g);
+  const double ms = makespan(g.weights, a, g.n_procs);
+  const double lower = std::max(total / 5.0, biggest);
+  EXPECT_LE(ms, lower * 4.0 / 3.0 + 1e-9);
+}
+
+TEST(RefineSemiMatchingTest, NeverWorsensMakespan) {
+  Rng rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto g = random_instance(50, 8, 4, /*unit=*/false, rng);
+    const Assignment greedy = greedy_semi_matching(g);
+    const Assignment refined = refine_semi_matching(g, greedy);
+    validate_assignment(refined, g.n_procs);
+    EXPECT_LE(makespan(g.weights, refined, g.n_procs),
+              makespan(g.weights, greedy, g.n_procs) + 1e-12);
+    // Refinement must keep eligibility.
+    for (std::size_t t = 0; t < refined.size(); ++t) {
+      EXPECT_NE(
+          std::find(g.eligible[t].begin(), g.eligible[t].end(), refined[t]),
+          g.eligible[t].end());
+    }
+  }
+}
+
+TEST(RefineSemiMatchingTest, FixesObviousImbalance) {
+  // All tasks piled on proc 0, all eligible anywhere: refinement must
+  // spread them.
+  const int n_tasks = 16;
+  const auto g =
+      make_complete_instance(std::vector<double>(n_tasks, 1.0), 4);
+  Assignment bad(n_tasks, 0);
+  const Assignment fixed = refine_semi_matching(g, bad);
+  EXPECT_DOUBLE_EQ(makespan(g.weights, fixed, 4), 4.0);
+}
+
+TEST(SemiMatchingBalanceTest, EndToEnd) {
+  Rng rng(13);
+  const auto g = random_instance(200, 16, 5, /*unit=*/false, rng);
+  const BalanceResult r = semi_matching_balance(g);
+  EXPECT_EQ(r.algorithm, "semi-matching");
+  EXPECT_GE(r.balance_seconds, 0.0);
+  validate_assignment(r.assignment, g.n_procs);
+  // Quality sanity: within 2.5x of the no-locality lower bound.
+  double total = 0.0, biggest = 0.0;
+  for (double w : g.weights) {
+    total += w;
+    biggest = std::max(biggest, w);
+  }
+  const double lower = std::max(total / 16.0, biggest);
+  EXPECT_LE(makespan(g.weights, r.assignment, 16), 2.5 * lower);
+}
+
+TEST(OptimalSemiMatchingTest, ChainInstanceExactLoads) {
+  // Tasks 0..3 each eligible on {i, i+1} over 5 procs: optimum puts one
+  // task per proc, max load 1.
+  BipartiteTaskGraph g;
+  g.n_procs = 5;
+  g.eligible = {{0, 1}, {1, 2}, {2, 3}, {3, 4}};
+  g.weights = {1.0, 1.0, 1.0, 1.0};
+  const Assignment a = optimal_semi_matching(g);
+  const auto loads = part_loads(g.weights, a, 5);
+  EXPECT_DOUBLE_EQ(*std::max_element(loads.begin(), loads.end()), 1.0);
+}
+
+TEST(OptimalSemiMatchingTest, ForcedContentionNeedsAugmenting) {
+  // Both tasks only eligible on proc 0 and 1, but task 1 only on proc 0:
+  // the algorithm must route task 0 away via an alternating path.
+  BipartiteTaskGraph g;
+  g.n_procs = 2;
+  g.eligible = {{0, 1}, {0}};
+  g.weights = {1.0, 1.0};
+  const Assignment a = optimal_semi_matching(g);
+  const auto loads = part_loads(g.weights, a, 2);
+  EXPECT_DOUBLE_EQ(loads[0], 1.0);
+  EXPECT_DOUBLE_EQ(loads[1], 1.0);
+  EXPECT_EQ(a[1], 0);
+}
+
+}  // namespace

@@ -1,0 +1,151 @@
+// Cross-simulator conservation properties, swept over random workloads:
+// for EVERY execution model, (1) each task runs exactly once, (2) the
+// total busy time equals the total work (no work lost or invented),
+// (3) the makespan respects the trivial lower bounds, and (4) repeated
+// runs with the same seed are bit-identical.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "lb/simple.hpp"
+#include "sim/simulators.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace emc::sim;
+using emc::lb::Assignment;
+
+struct Workload {
+  std::vector<double> costs;
+  MachineConfig machine;
+  Assignment block;
+};
+
+Workload make_workload(std::uint64_t seed) {
+  emc::Rng rng(seed);
+  Workload w;
+  w.machine.n_procs = 4 << rng.below(5);  // 4..64
+  w.machine.procs_per_node = 8;
+  w.machine.noise_amplitude = rng.uniform() < 0.5 ? 0.0 : 0.2;
+  w.machine.seed = seed;
+  const std::size_t n = 100 + rng.below(900);
+  w.costs.resize(n);
+  for (auto& c : w.costs) c = std::exp(rng.uniform(-10.0, -5.0));
+  w.block = emc::lb::block_assignment(n, w.machine.n_procs);
+  return w;
+}
+
+double total_cost(const Workload& w) {
+  return std::accumulate(w.costs.begin(), w.costs.end(), 0.0);
+}
+
+/// Work lower bound: with noise, the fastest possible completion is the
+/// total work divided by the sum of core speeds.
+double work_lower_bound(const Workload& w) {
+  const auto speeds = draw_core_speeds(w.machine);
+  const double speed_sum =
+      std::accumulate(speeds.begin(), speeds.end(), 0.0);
+  return total_cost(w) / speed_sum;
+}
+
+void check_conservation(const Workload& w, const SimResult& r,
+                        const char* label) {
+  const std::int64_t executed = std::accumulate(
+      r.tasks_executed.begin(), r.tasks_executed.end(), std::int64_t{0});
+  EXPECT_EQ(executed, static_cast<std::int64_t>(w.costs.size())) << label;
+
+  // Busy time equals total work scaled by the executing cores' speeds;
+  // with uniform speeds it equals total work, with noise it is >= it.
+  const double busy =
+      std::accumulate(r.busy.begin(), r.busy.end(), 0.0);
+  EXPECT_GE(busy, total_cost(w) - 1e-9) << label;
+
+  EXPECT_GE(r.makespan, work_lower_bound(w) - 1e-12) << label;
+  // And no proc can beat the single heaviest task.
+  const double heaviest =
+      *std::max_element(w.costs.begin(), w.costs.end());
+  EXPECT_GE(r.makespan, heaviest - 1e-12) << label;
+}
+
+class ConservationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConservationTest, AllModelsConserveWork) {
+  const Workload w =
+      make_workload(static_cast<std::uint64_t>(GetParam()) * 1337);
+
+  check_conservation(w, simulate_static(w.machine, w.costs, w.block),
+                     "static");
+  check_conservation(w, simulate_counter(w.machine, w.costs, 3),
+                     "counter");
+  {
+    CounterOptions guided;
+    guided.policy = ChunkPolicy::kGuided;
+    check_conservation(w, simulate_counter(w.machine, w.costs, guided),
+                       "guided");
+  }
+  {
+    CounterOptions tss;
+    tss.policy = ChunkPolicy::kTrapezoid;
+    check_conservation(w, simulate_counter(w.machine, w.costs, tss),
+                       "trapezoid");
+  }
+  check_conservation(
+      w, simulate_hierarchical_counter(w.machine, w.costs, 32, 2),
+      "hierarchical");
+  check_conservation(w,
+                     simulate_hybrid(w.machine, w.costs, w.block, 0.4, 2),
+                     "hybrid");
+  check_conservation(w,
+                     simulate_work_stealing(w.machine, w.costs, w.block),
+                     "stealing");
+}
+
+TEST_P(ConservationTest, AllModelsDeterministic) {
+  const Workload w =
+      make_workload(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+
+  auto twice_equal = [&](auto&& run) {
+    const SimResult a = run();
+    const SimResult b = run();
+    EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.tasks_executed, b.tasks_executed);
+    EXPECT_EQ(a.steals, b.steals);
+    EXPECT_EQ(a.counter_ops, b.counter_ops);
+  };
+
+  twice_equal([&] { return simulate_static(w.machine, w.costs, w.block); });
+  twice_equal([&] { return simulate_counter(w.machine, w.costs, 5); });
+  twice_equal([&] {
+    return simulate_hierarchical_counter(w.machine, w.costs, 16, 1);
+  });
+  twice_equal(
+      [&] { return simulate_hybrid(w.machine, w.costs, w.block, 0.25); });
+  twice_equal([&] {
+    return simulate_work_stealing(w.machine, w.costs, w.block);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConservationTest, ::testing::Range(1, 15));
+
+TEST(ConservationTest, RetentiveRoundsEachConserve) {
+  const Workload w = make_workload(4242);
+  const auto rounds =
+      simulate_retentive(w.machine, w.costs, w.block, 4);
+  for (const auto& r : rounds) {
+    check_conservation(w, r, "retentive");
+  }
+}
+
+TEST(ConservationTest, PersistenceRoundsEachConserve) {
+  const Workload w = make_workload(31337);
+  const auto rounds =
+      simulate_persistence(w.machine, w.costs, w.block, 4);
+  for (const auto& r : rounds) {
+    check_conservation(w, r, "persistence");
+  }
+}
+
+}  // namespace

@@ -1,0 +1,306 @@
+// Unit tests for util: RNG, statistics, histogram, table, CLI.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/cli.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using emc::Accumulator;
+using emc::Cli;
+using emc::Histogram;
+using emc::Rng;
+using emc::Summary;
+using emc::Table;
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.below(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+}
+
+TEST(Rng, RangeInclusiveBounds) {
+  Rng rng(5);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.range(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    hit_lo |= (v == -3);
+    hit_hi |= (v == 3);
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  double sum = 0.0, sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, SplitStreamsAreIndependentish) {
+  Rng parent(19);
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent() == child()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Stats, SummaryBasics) {
+  const std::array<double, 5> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  const Summary s = emc::summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.sum, 15.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+}
+
+TEST(Stats, SummaryEmptyIsZero) {
+  const Summary s = emc::summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.cv(), 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::array<double, 4> xs{0.0, 1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(emc::percentile(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(emc::percentile(xs, 1.0), 3.0);
+  EXPECT_DOUBLE_EQ(emc::percentile(xs, 0.5), 1.5);
+}
+
+TEST(Stats, PercentileUnsortedInput) {
+  const std::array<double, 5> xs{5.0, 1.0, 4.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(emc::percentile(xs, 0.5), 3.0);
+}
+
+TEST(Stats, ImbalanceRatio) {
+  const std::array<double, 4> balanced{1.0, 1.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(emc::imbalance_ratio(balanced), 1.0);
+  const std::array<double, 4> skewed{4.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(emc::imbalance_ratio(skewed), 4.0);
+}
+
+TEST(Stats, AccumulatorMatchesSummary) {
+  Rng rng(23);
+  std::vector<double> xs;
+  Accumulator acc;
+  for (int i = 0; i < 1000; ++i) {
+    xs.push_back(rng.uniform(-5.0, 5.0));
+    acc.add(xs.back());
+  }
+  const Summary s = emc::summarize(xs);
+  EXPECT_NEAR(acc.mean(), s.mean, 1e-10);
+  EXPECT_NEAR(acc.stddev(), s.stddev, 1e-10);
+  EXPECT_DOUBLE_EQ(acc.min(), s.min);
+  EXPECT_DOUBLE_EQ(acc.max(), s.max);
+}
+
+TEST(HistogramTest, BinningAndOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-1.0);
+  h.add(0.0);
+  h.add(5.5);
+  h.add(9.999);
+  h.add(10.0);
+  h.add(42.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.total(), 6u);
+}
+
+TEST(HistogramTest, BinEdges) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 0.25);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 0.75);
+}
+
+TEST(HistogramTest, RenderContainsCounts) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(0.5);
+  h.add(1.5);
+  const std::string out = h.render(10);
+  EXPECT_NE(out.find("2"), std::string::npos);
+  EXPECT_NE(out.find("#"), std::string::npos);
+}
+
+TEST(TableTest, TextAlignmentAndContent) {
+  Table t({"name", "value"});
+  t.add_row({std::string("alpha"), std::int64_t{42}});
+  t.add_row({std::string("b"), 3.14159});
+  t.set_precision(2);
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+  EXPECT_NE(text.find("3.14"), std::string::npos);
+}
+
+TEST(TableTest, CsvQuoting) {
+  Table t({"a", "b"});
+  t.add_row({std::string("x,y"), std::string("say \"hi\"")});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TableTest, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({std::string("only one")}), std::invalid_argument);
+}
+
+TEST(TableTest, EmptyHeadersThrow) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(CliTest, ParsesLongAndShortOptions) {
+  Cli cli("prog", "test");
+  std::int64_t n = 1;
+  double x = 0.0;
+  std::string s = "default";
+  bool flag = false;
+  cli.add_int("count", 'n', "a count", &n);
+  cli.add_double("ratio", 'r', "a ratio", &x);
+  cli.add_string("name", 's', "a name", &s);
+  cli.add_flag("verbose", 'v', "verbosity", &flag);
+
+  const char* argv[] = {"prog", "--count", "5", "-r", "2.5",
+                        "--name=bob", "-v"};
+  ASSERT_TRUE(cli.parse(7, argv));
+  EXPECT_EQ(n, 5);
+  EXPECT_DOUBLE_EQ(x, 2.5);
+  EXPECT_EQ(s, "bob");
+  EXPECT_TRUE(flag);
+}
+
+TEST(CliTest, RejectsUnknownOption) {
+  Cli cli("prog", "test");
+  const char* argv[] = {"prog", "--nope"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(CliTest, RejectsBadInt) {
+  Cli cli("prog", "test");
+  std::int64_t n = 0;
+  cli.add_int("count", 'n', "a count", &n);
+  const char* argv[] = {"prog", "--count", "abc"};
+  EXPECT_FALSE(cli.parse(3, argv));
+}
+
+TEST(CliTest, MissingValueFails) {
+  Cli cli("prog", "test");
+  std::int64_t n = 0;
+  cli.add_int("count", 'n', "a count", &n);
+  const char* argv[] = {"prog", "--count"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(CliTest, HelpReturnsFalse) {
+  Cli cli("prog", "test");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(LogTest, LevelNamesAndThreshold) {
+  using emc::LogLevel;
+  EXPECT_STREQ(emc::log_level_name(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(emc::log_level_name(LogLevel::kError), "ERROR");
+  const LogLevel before = emc::log_level();
+  emc::set_log_level(LogLevel::kError);
+  EXPECT_EQ(emc::log_level(), LogLevel::kError);
+  EMC_LOG(kDebug) << "suppressed by threshold";  // must not crash
+  emc::set_log_level(before);
+}
+
+TEST(TableTest, CellAccessor) {
+  Table t({"a", "b"});
+  t.add_row({std::int64_t{7}, std::string("x")});
+  EXPECT_EQ(std::get<std::int64_t>(t.at(0, 0)), 7);
+  EXPECT_EQ(std::get<std::string>(t.at(0, 1)), "x");
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_THROW(t.at(1, 0), std::out_of_range);
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  emc::Timer t;
+  volatile double x = 0.0;
+  for (int i = 0; i < 100000; ++i) x = x + 1.0;
+  EXPECT_GT(t.seconds(), 0.0);
+  EXPECT_GE(t.nanos(), 0u);
+}
+
+}  // namespace
