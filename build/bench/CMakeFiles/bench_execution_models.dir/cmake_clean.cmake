@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_execution_models.dir/bench_execution_models.cpp.o"
+  "CMakeFiles/bench_execution_models.dir/bench_execution_models.cpp.o.d"
+  "bench_execution_models"
+  "bench_execution_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_execution_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lb_cost.dir/bench_lb_cost.cpp.o"
+  "CMakeFiles/bench_lb_cost.dir/bench_lb_cost.cpp.o.d"
+  "bench_lb_cost"
+  "bench_lb_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lb_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

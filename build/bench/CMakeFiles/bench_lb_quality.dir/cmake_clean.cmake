@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lb_quality.dir/bench_lb_quality.cpp.o"
+  "CMakeFiles/bench_lb_quality.dir/bench_lb_quality.cpp.o.d"
+  "bench_lb_quality"
+  "bench_lb_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lb_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_retentive.dir/bench_retentive.cpp.o"
+  "CMakeFiles/bench_retentive.dir/bench_retentive.cpp.o.d"
+  "bench_retentive"
+  "bench_retentive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_retentive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

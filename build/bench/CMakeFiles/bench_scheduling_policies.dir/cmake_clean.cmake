@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scheduling_policies.dir/bench_scheduling_policies.cpp.o"
+  "CMakeFiles/bench_scheduling_policies.dir/bench_scheduling_policies.cpp.o.d"
+  "bench_scheduling_policies"
+  "bench_scheduling_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scheduling_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

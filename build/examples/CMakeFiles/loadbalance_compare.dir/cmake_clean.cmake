@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loadbalance_compare.dir/loadbalance_compare.cpp.o"
+  "CMakeFiles/loadbalance_compare.dir/loadbalance_compare.cpp.o.d"
+  "loadbalance_compare"
+  "loadbalance_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loadbalance_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

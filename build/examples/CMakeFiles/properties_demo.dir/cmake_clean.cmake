@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/properties_demo.dir/properties_demo.cpp.o"
+  "CMakeFiles/properties_demo.dir/properties_demo.cpp.o.d"
+  "properties_demo"
+  "properties_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/properties_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scf_hartree_fock.dir/scf_hartree_fock.cpp.o"
+  "CMakeFiles/scf_hartree_fock.dir/scf_hartree_fock.cpp.o.d"
+  "scf_hartree_fock"
+  "scf_hartree_fock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scf_hartree_fock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for scf_hartree_fock.
+# This may be replaced when dependencies are built.

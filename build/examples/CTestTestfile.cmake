@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_scf "/root/repo/build/examples/scf_hartree_fock" "--molecule" "h2" "--basis" "sto-3g")
+set_tests_properties(example_scf PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_scf_uhf "/root/repo/build/examples/scf_hartree_fock" "--molecule" "h2" "--method" "uhf" "--charge" "1" "--multiplicity" "2")
+set_tests_properties(example_scf_uhf PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_scf_mp2 "/root/repo/build/examples/scf_hartree_fock" "--molecule" "h2" "--method" "mp2")
+set_tests_properties(example_scf_mp2 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_loadbalance "/root/repo/build/examples/loadbalance_compare" "--molecule" "water4" "--procs" "16")
+set_tests_properties(example_loadbalance PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cluster_sim "/root/repo/build/examples/cluster_sim" "--molecule" "water4" "--procs" "32" "--model" "work-stealing")
+set_tests_properties(example_cluster_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_properties "/root/repo/build/examples/properties_demo" "--molecule" "h2")
+set_tests_properties(example_properties PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")

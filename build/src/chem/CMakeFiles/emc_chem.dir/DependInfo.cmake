@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chem/basis.cpp" "src/chem/CMakeFiles/emc_chem.dir/basis.cpp.o" "gcc" "src/chem/CMakeFiles/emc_chem.dir/basis.cpp.o.d"
+  "/root/repo/src/chem/boys.cpp" "src/chem/CMakeFiles/emc_chem.dir/boys.cpp.o" "gcc" "src/chem/CMakeFiles/emc_chem.dir/boys.cpp.o.d"
+  "/root/repo/src/chem/element.cpp" "src/chem/CMakeFiles/emc_chem.dir/element.cpp.o" "gcc" "src/chem/CMakeFiles/emc_chem.dir/element.cpp.o.d"
+  "/root/repo/src/chem/eri.cpp" "src/chem/CMakeFiles/emc_chem.dir/eri.cpp.o" "gcc" "src/chem/CMakeFiles/emc_chem.dir/eri.cpp.o.d"
+  "/root/repo/src/chem/fock.cpp" "src/chem/CMakeFiles/emc_chem.dir/fock.cpp.o" "gcc" "src/chem/CMakeFiles/emc_chem.dir/fock.cpp.o.d"
+  "/root/repo/src/chem/integrals.cpp" "src/chem/CMakeFiles/emc_chem.dir/integrals.cpp.o" "gcc" "src/chem/CMakeFiles/emc_chem.dir/integrals.cpp.o.d"
+  "/root/repo/src/chem/molecule.cpp" "src/chem/CMakeFiles/emc_chem.dir/molecule.cpp.o" "gcc" "src/chem/CMakeFiles/emc_chem.dir/molecule.cpp.o.d"
+  "/root/repo/src/chem/mp2.cpp" "src/chem/CMakeFiles/emc_chem.dir/mp2.cpp.o" "gcc" "src/chem/CMakeFiles/emc_chem.dir/mp2.cpp.o.d"
+  "/root/repo/src/chem/properties.cpp" "src/chem/CMakeFiles/emc_chem.dir/properties.cpp.o" "gcc" "src/chem/CMakeFiles/emc_chem.dir/properties.cpp.o.d"
+  "/root/repo/src/chem/scf.cpp" "src/chem/CMakeFiles/emc_chem.dir/scf.cpp.o" "gcc" "src/chem/CMakeFiles/emc_chem.dir/scf.cpp.o.d"
+  "/root/repo/src/chem/uhf.cpp" "src/chem/CMakeFiles/emc_chem.dir/uhf.cpp.o" "gcc" "src/chem/CMakeFiles/emc_chem.dir/uhf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/emc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/emc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emc_chem.dir/basis.cpp.o"
+  "CMakeFiles/emc_chem.dir/basis.cpp.o.d"
+  "CMakeFiles/emc_chem.dir/boys.cpp.o"
+  "CMakeFiles/emc_chem.dir/boys.cpp.o.d"
+  "CMakeFiles/emc_chem.dir/element.cpp.o"
+  "CMakeFiles/emc_chem.dir/element.cpp.o.d"
+  "CMakeFiles/emc_chem.dir/eri.cpp.o"
+  "CMakeFiles/emc_chem.dir/eri.cpp.o.d"
+  "CMakeFiles/emc_chem.dir/fock.cpp.o"
+  "CMakeFiles/emc_chem.dir/fock.cpp.o.d"
+  "CMakeFiles/emc_chem.dir/integrals.cpp.o"
+  "CMakeFiles/emc_chem.dir/integrals.cpp.o.d"
+  "CMakeFiles/emc_chem.dir/molecule.cpp.o"
+  "CMakeFiles/emc_chem.dir/molecule.cpp.o.d"
+  "CMakeFiles/emc_chem.dir/mp2.cpp.o"
+  "CMakeFiles/emc_chem.dir/mp2.cpp.o.d"
+  "CMakeFiles/emc_chem.dir/properties.cpp.o"
+  "CMakeFiles/emc_chem.dir/properties.cpp.o.d"
+  "CMakeFiles/emc_chem.dir/scf.cpp.o"
+  "CMakeFiles/emc_chem.dir/scf.cpp.o.d"
+  "CMakeFiles/emc_chem.dir/uhf.cpp.o"
+  "CMakeFiles/emc_chem.dir/uhf.cpp.o.d"
+  "libemc_chem.a"
+  "libemc_chem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emc_chem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

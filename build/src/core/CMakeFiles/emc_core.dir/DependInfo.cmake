@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/calibration.cpp" "src/core/CMakeFiles/emc_core.dir/calibration.cpp.o" "gcc" "src/core/CMakeFiles/emc_core.dir/calibration.cpp.o.d"
+  "/root/repo/src/core/distributed_fock.cpp" "src/core/CMakeFiles/emc_core.dir/distributed_fock.cpp.o" "gcc" "src/core/CMakeFiles/emc_core.dir/distributed_fock.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/emc_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/emc_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/task_model.cpp" "src/core/CMakeFiles/emc_core.dir/task_model.cpp.o" "gcc" "src/core/CMakeFiles/emc_core.dir/task_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/chem/CMakeFiles/emc_chem.dir/DependInfo.cmake"
+  "/root/repo/build/src/lb/CMakeFiles/emc_lb.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/emc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/emc_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/pgas/CMakeFiles/emc_pgas.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/emc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/emc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/emc_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

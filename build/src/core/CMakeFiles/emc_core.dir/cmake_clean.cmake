@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emc_core.dir/calibration.cpp.o"
+  "CMakeFiles/emc_core.dir/calibration.cpp.o.d"
+  "CMakeFiles/emc_core.dir/distributed_fock.cpp.o"
+  "CMakeFiles/emc_core.dir/distributed_fock.cpp.o.d"
+  "CMakeFiles/emc_core.dir/experiment.cpp.o"
+  "CMakeFiles/emc_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/emc_core.dir/task_model.cpp.o"
+  "CMakeFiles/emc_core.dir/task_model.cpp.o.d"
+  "libemc_core.a"
+  "libemc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

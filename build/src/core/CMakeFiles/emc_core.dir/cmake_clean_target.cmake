@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libemc_core.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emc_exec.dir/schedulers.cpp.o"
+  "CMakeFiles/emc_exec.dir/schedulers.cpp.o.d"
+  "libemc_exec.a"
+  "libemc_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emc_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emc_graph.dir/csr_graph.cpp.o"
+  "CMakeFiles/emc_graph.dir/csr_graph.cpp.o.d"
+  "CMakeFiles/emc_graph.dir/generators.cpp.o"
+  "CMakeFiles/emc_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/emc_graph.dir/hypergraph.cpp.o"
+  "CMakeFiles/emc_graph.dir/hypergraph.cpp.o.d"
+  "libemc_graph.a"
+  "libemc_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emc_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

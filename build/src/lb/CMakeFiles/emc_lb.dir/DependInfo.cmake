@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lb/hypergraph_partition.cpp" "src/lb/CMakeFiles/emc_lb.dir/hypergraph_partition.cpp.o" "gcc" "src/lb/CMakeFiles/emc_lb.dir/hypergraph_partition.cpp.o.d"
+  "/root/repo/src/lb/partition.cpp" "src/lb/CMakeFiles/emc_lb.dir/partition.cpp.o" "gcc" "src/lb/CMakeFiles/emc_lb.dir/partition.cpp.o.d"
+  "/root/repo/src/lb/semi_matching.cpp" "src/lb/CMakeFiles/emc_lb.dir/semi_matching.cpp.o" "gcc" "src/lb/CMakeFiles/emc_lb.dir/semi_matching.cpp.o.d"
+  "/root/repo/src/lb/simple.cpp" "src/lb/CMakeFiles/emc_lb.dir/simple.cpp.o" "gcc" "src/lb/CMakeFiles/emc_lb.dir/simple.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/emc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/emc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emc_lb.dir/hypergraph_partition.cpp.o"
+  "CMakeFiles/emc_lb.dir/hypergraph_partition.cpp.o.d"
+  "CMakeFiles/emc_lb.dir/partition.cpp.o"
+  "CMakeFiles/emc_lb.dir/partition.cpp.o.d"
+  "CMakeFiles/emc_lb.dir/semi_matching.cpp.o"
+  "CMakeFiles/emc_lb.dir/semi_matching.cpp.o.d"
+  "CMakeFiles/emc_lb.dir/simple.cpp.o"
+  "CMakeFiles/emc_lb.dir/simple.cpp.o.d"
+  "libemc_lb.a"
+  "libemc_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emc_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emc_linalg.dir/blas.cpp.o"
+  "CMakeFiles/emc_linalg.dir/blas.cpp.o.d"
+  "CMakeFiles/emc_linalg.dir/eigen.cpp.o"
+  "CMakeFiles/emc_linalg.dir/eigen.cpp.o.d"
+  "CMakeFiles/emc_linalg.dir/factor.cpp.o"
+  "CMakeFiles/emc_linalg.dir/factor.cpp.o.d"
+  "CMakeFiles/emc_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/emc_linalg.dir/matrix.cpp.o.d"
+  "libemc_linalg.a"
+  "libemc_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emc_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emc_pgas.dir/global_array.cpp.o"
+  "CMakeFiles/emc_pgas.dir/global_array.cpp.o.d"
+  "CMakeFiles/emc_pgas.dir/runtime.cpp.o"
+  "CMakeFiles/emc_pgas.dir/runtime.cpp.o.d"
+  "libemc_pgas.a"
+  "libemc_pgas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emc_pgas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for emc_pgas.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emc_sim.dir/machine.cpp.o"
+  "CMakeFiles/emc_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/emc_sim.dir/simulators.cpp.o"
+  "CMakeFiles/emc_sim.dir/simulators.cpp.o.d"
+  "libemc_sim.a"
+  "libemc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

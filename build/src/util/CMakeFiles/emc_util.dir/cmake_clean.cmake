@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emc_util.dir/cli.cpp.o"
+  "CMakeFiles/emc_util.dir/cli.cpp.o.d"
+  "CMakeFiles/emc_util.dir/log.cpp.o"
+  "CMakeFiles/emc_util.dir/log.cpp.o.d"
+  "CMakeFiles/emc_util.dir/stats.cpp.o"
+  "CMakeFiles/emc_util.dir/stats.cpp.o.d"
+  "CMakeFiles/emc_util.dir/table.cpp.o"
+  "CMakeFiles/emc_util.dir/table.cpp.o.d"
+  "libemc_util.a"
+  "libemc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

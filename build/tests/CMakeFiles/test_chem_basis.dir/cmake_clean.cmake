@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chem_basis.dir/test_chem_basis.cpp.o"
+  "CMakeFiles/test_chem_basis.dir/test_chem_basis.cpp.o.d"
+  "test_chem_basis"
+  "test_chem_basis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chem_basis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chem_integrals.dir/test_chem_integrals.cpp.o"
+  "CMakeFiles/test_chem_integrals.dir/test_chem_integrals.cpp.o.d"
+  "test_chem_integrals"
+  "test_chem_integrals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chem_integrals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_chem_integrals.
+# This may be replaced when dependencies are built.

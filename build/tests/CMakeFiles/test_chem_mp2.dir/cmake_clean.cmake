@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chem_mp2.dir/test_chem_mp2.cpp.o"
+  "CMakeFiles/test_chem_mp2.dir/test_chem_mp2.cpp.o.d"
+  "test_chem_mp2"
+  "test_chem_mp2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chem_mp2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chem_optimize.dir/test_chem_optimize.cpp.o"
+  "CMakeFiles/test_chem_optimize.dir/test_chem_optimize.cpp.o.d"
+  "test_chem_optimize"
+  "test_chem_optimize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chem_optimize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chem_properties.dir/test_chem_properties.cpp.o"
+  "CMakeFiles/test_chem_properties.dir/test_chem_properties.cpp.o.d"
+  "test_chem_properties"
+  "test_chem_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chem_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chem_scf.dir/test_chem_scf.cpp.o"
+  "CMakeFiles/test_chem_scf.dir/test_chem_scf.cpp.o.d"
+  "test_chem_scf"
+  "test_chem_scf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chem_scf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chem_uhf.dir/test_chem_uhf.cpp.o"
+  "CMakeFiles/test_chem_uhf.dir/test_chem_uhf.cpp.o.d"
+  "test_chem_uhf"
+  "test_chem_uhf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chem_uhf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

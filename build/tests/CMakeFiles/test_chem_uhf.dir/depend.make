@@ -1,0 +1,2 @@
+# Empty dependencies file for test_chem_uhf.
+# This may be replaced when dependencies are built.

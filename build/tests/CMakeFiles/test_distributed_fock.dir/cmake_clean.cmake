@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_distributed_fock.dir/test_distributed_fock.cpp.o"
+  "CMakeFiles/test_distributed_fock.dir/test_distributed_fock.cpp.o.d"
+  "test_distributed_fock"
+  "test_distributed_fock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_distributed_fock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

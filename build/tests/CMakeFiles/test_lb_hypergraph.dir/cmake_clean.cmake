@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lb_hypergraph.dir/test_lb_hypergraph.cpp.o"
+  "CMakeFiles/test_lb_hypergraph.dir/test_lb_hypergraph.cpp.o.d"
+  "test_lb_hypergraph"
+  "test_lb_hypergraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lb_hypergraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lb_semi_matching.dir/test_lb_semi_matching.cpp.o"
+  "CMakeFiles/test_lb_semi_matching.dir/test_lb_semi_matching.cpp.o.d"
+  "test_lb_semi_matching"
+  "test_lb_semi_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lb_semi_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lb_simple.dir/test_lb_simple.cpp.o"
+  "CMakeFiles/test_lb_simple.dir/test_lb_simple.cpp.o.d"
+  "test_lb_simple"
+  "test_lb_simple.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lb_simple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

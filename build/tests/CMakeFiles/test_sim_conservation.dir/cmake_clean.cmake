@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_conservation.dir/test_sim_conservation.cpp.o"
+  "CMakeFiles/test_sim_conservation.dir/test_sim_conservation.cpp.o.d"
+  "test_sim_conservation"
+  "test_sim_conservation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_conservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
