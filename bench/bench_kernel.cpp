@@ -1,38 +1,92 @@
-// Kernel microbenchmarks (google-benchmark): the raw chemistry substrate
-// that generates the task costs — ERI quartets, Schwarz screening, and
-// one SCF Fock build. These calibrate the simulator's cost scale.
+// Kernel microbenchmarks plus the kernel's recorded perf artifacts: the
+// raw chemistry substrate that generates the task costs — ERI quartets,
+// Schwarz screening, and Fock-build sweeps. These calibrate the
+// simulator's cost scale and guard the hot path against regressions.
+//
+// Modes:
+//   (default)        google-benchmark microbenchmarks
+//   --smoke          fast seed-vs-cached kernel comparison per shell
+//                    class + a Fock-build sweep + accuracy cross-checks;
+//                    writes BENCH_kernel.json and exits nonzero on an
+//                    accuracy failure or a speedup below --min-speedup
+//   --calibrate      re-fit the analytic task-cost model constants
+//                    (FockBuilder::estimate_task_cost) by least squares
+//                    against wall-time measurements of the current kernel
+//   --json=PATH      smoke JSON output path (default BENCH_kernel.json)
+//   --min-speedup=X  smoke regression gate on the Fock sweep (default 1.2
+//                    — deliberately below the recorded ~3x so scheduler
+//                    noise cannot fail CI, while a real regression does)
+//   --seed=N         seed for the randomized accuracy quartets
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
 #include "chem/basis.hpp"
+#include "chem/boys.hpp"
 #include "chem/eri.hpp"
 #include "chem/fock.hpp"
 #include "chem/integrals.hpp"
 #include "chem/molecule.hpp"
+#include "core/calibration.hpp"
+#include "core/task_model.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
 using namespace emc::chem;
 
-void BM_EriQuartetSSSS(benchmark::State& state) {
-  const Molecule mol = make_water();
-  const BasisSet basis = BasisSet::build(mol, "sto-3g");
-  const Shell& s0 = basis.shells()[0];  // O 1s (deep contraction)
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(eri_shell_quartet(s0, s0, s0, s0));
-  }
-}
-BENCHMARK(BM_EriQuartetSSSS);
+// ---------------------------------------------------------------------------
+// google-benchmark microbenches (default mode)
+// ---------------------------------------------------------------------------
 
-void BM_EriQuartetPPPP(benchmark::State& state) {
-  const Molecule mol = make_water();
-  const BasisSet basis = BasisSet::build(mol, "sto-3g");
-  const Shell& p = basis.shells()[2];  // O 2p
+const Shell& water_shell(const BasisSet& basis, int index) {
+  return basis.shells()[static_cast<std::size_t>(index)];
+}
+
+void BM_EriQuartetSSSSDirect(benchmark::State& state) {
+  const BasisSet basis = BasisSet::build(make_water(), "sto-3g");
+  const Shell& s0 = water_shell(basis, 0);  // O 1s (deep contraction)
   for (auto _ : state) {
-    benchmark::DoNotOptimize(eri_shell_quartet(p, p, p, p));
+    benchmark::DoNotOptimize(eri_shell_quartet_direct(s0, s0, s0, s0));
   }
 }
-BENCHMARK(BM_EriQuartetPPPP);
+BENCHMARK(BM_EriQuartetSSSSDirect);
+
+void BM_EriQuartetSSSSCached(benchmark::State& state) {
+  const BasisSet basis = BasisSet::build(make_water(), "sto-3g");
+  const ShellPairData pair =
+      make_shell_pair(water_shell(basis, 0), water_shell(basis, 0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eri_shell_quartet(pair, pair));
+  }
+}
+BENCHMARK(BM_EriQuartetSSSSCached);
+
+void BM_EriQuartetPPPPDirect(benchmark::State& state) {
+  const BasisSet basis = BasisSet::build(make_water(), "sto-3g");
+  const Shell& p = water_shell(basis, 2);  // O 2p
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eri_shell_quartet_direct(p, p, p, p));
+  }
+}
+BENCHMARK(BM_EriQuartetPPPPDirect);
+
+void BM_EriQuartetPPPPCached(benchmark::State& state) {
+  const BasisSet basis = BasisSet::build(make_water(), "sto-3g");
+  const ShellPairData pair =
+      make_shell_pair(water_shell(basis, 2), water_shell(basis, 2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eri_shell_quartet(pair, pair));
+  }
+}
+BENCHMARK(BM_EriQuartetPPPPCached);
 
 void BM_OverlapMatrix(benchmark::State& state) {
   const Molecule mol = make_water_cluster(static_cast<int>(state.range(0)));
@@ -67,4 +121,409 @@ void BM_FockBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_FockBuild)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// --smoke: seed-vs-cached comparison, accuracy gate, BENCH_kernel.json
+// ---------------------------------------------------------------------------
+
+struct ClassResult {
+  std::string name;
+  double direct_ns = 0.0;
+  double cached_ns = 0.0;
+  double max_diff = 0.0;
+  double speedup() const {
+    return cached_ns > 0.0 ? direct_ns / cached_ns : 0.0;
+  }
+};
+
+/// Times fn() `iters` times per rep and returns the best per-call ns.
+template <typename Fn>
+double best_ns(int reps, int iters, Fn&& fn) {
+  emc::Timer timer;
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    timer.reset();
+    for (int i = 0; i < iters; ++i) fn();
+    const double t = timer.seconds() * 1e9 / static_cast<double>(iters);
+    if (r == 0 || t < best) best = t;
+  }
+  return best;
+}
+
+double block_max_diff(const EriBlock& x, const EriBlock& y) {
+  double m = 0.0;
+  for (int a = 0; a < x.na(); ++a) {
+    for (int b = 0; b < x.nb(); ++b) {
+      for (int c = 0; c < x.nc(); ++c) {
+        for (int d = 0; d < x.nd(); ++d) {
+          m = std::max(m, std::abs(x(a, b, c, d) - y(a, b, c, d)));
+        }
+      }
+    }
+  }
+  return m;
+}
+
+ClassResult time_quartet_class(const std::string& name, const Shell& a,
+                               const Shell& b, const Shell& c,
+                               const Shell& d, int iters) {
+  ClassResult res;
+  res.name = name;
+  res.max_diff = block_max_diff(eri_shell_quartet_direct(a, b, c, d),
+                                eri_shell_quartet(a, b, c, d));
+  res.direct_ns = best_ns(3, iters, [&] {
+    benchmark::DoNotOptimize(eri_shell_quartet_direct(a, b, c, d));
+  });
+  const ShellPairData bra = make_shell_pair(a, b);
+  const ShellPairData ket = make_shell_pair(c, d);
+  res.cached_ns = best_ns(3, iters, [&] {
+    benchmark::DoNotOptimize(eri_shell_quartet(bra, ket));
+  });
+  return res;
+}
+
+/// Sweeps every screened quartet of the Fock-build task decomposition,
+/// once through the seed kernel and once through the pair cache. This is
+/// the workload whose speedup the cost-model recalibration records.
+struct FockSweepResult {
+  double direct_ms = 0.0;
+  double cached_ms = 0.0;
+  std::uint64_t quartets = 0;
+  double speedup() const {
+    return cached_ms > 0.0 ? direct_ms / cached_ms : 0.0;
+  }
+};
+
+FockSweepResult fock_sweep(const FockBuilder& builder, int reps) {
+  const auto& shells = builder.basis().shells();
+  const auto& pairs = builder.shell_pairs();
+  const auto& schwarz = builder.schwarz();
+  const double threshold = builder.screen_threshold();
+  const auto tasks = builder.make_tasks();
+
+  auto for_each_quartet = [&](auto&& fn) {
+    for (const ShellPairTask& task : tasks) {
+      const double q_bra = schwarz(static_cast<std::size_t>(task.si),
+                                   static_cast<std::size_t>(task.sj));
+      const int n = static_cast<int>(shells.size());
+      for (int k = 0; k < n; ++k) {
+        for (int l = 0; l <= k; ++l) {
+          if (pair_rank(k, l) > task.rank) break;
+          if (threshold > 0.0 &&
+              q_bra * schwarz(static_cast<std::size_t>(k),
+                              static_cast<std::size_t>(l)) < threshold) {
+            continue;
+          }
+          fn(task, k, l);
+        }
+      }
+    }
+  };
+
+  FockSweepResult res;
+  for_each_quartet([&](const ShellPairTask&, int, int) { ++res.quartets; });
+
+  emc::Timer timer;
+  double sink = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    timer.reset();
+    for_each_quartet([&](const ShellPairTask& task, int k, int l) {
+      const EriBlock block = eri_shell_quartet_direct(
+          shells[static_cast<std::size_t>(task.si)],
+          shells[static_cast<std::size_t>(task.sj)],
+          shells[static_cast<std::size_t>(k)],
+          shells[static_cast<std::size_t>(l)]);
+      sink += block.max_abs();
+    });
+    const double t = timer.seconds() * 1e3;
+    if (r == 0 || t < res.direct_ms) res.direct_ms = t;
+  }
+  for (int r = 0; r < reps; ++r) {
+    timer.reset();
+    for_each_quartet([&](const ShellPairTask& task, int k, int l) {
+      const EriBlock block =
+          eri_shell_quartet(pairs.pair(task.si, task.sj), pairs.pair(k, l));
+      sink += block.max_abs();
+    });
+    const double t = timer.seconds() * 1e3;
+    if (r == 0 || t < res.cached_ms) res.cached_ms = t;
+  }
+  benchmark::DoNotOptimize(sink);
+  return res;
+}
+
+/// Randomized cached-vs-direct agreement check (the same property the
+/// gtest suite verifies, kept here so the perf gate also gates accuracy).
+double random_quartet_max_diff(std::uint64_t seed, int n_quartets) {
+  emc::Rng rng(seed);
+  auto random_shell = [&rng]() {
+    Shell s;
+    s.l = static_cast<int>(rng.range(0, 2));
+    s.center = {rng.uniform(-2.0, 2.0), rng.uniform(-2.0, 2.0),
+                rng.uniform(-2.0, 2.0)};
+    const int nprim = static_cast<int>(rng.range(1, 3));
+    for (int i = 0; i < nprim; ++i) {
+      const double a = std::exp(rng.uniform(std::log(0.1), std::log(50.0)));
+      const double c = rng.uniform(0.2, 1.0) * (rng.uniform() < 0.5 ? -1 : 1);
+      s.exponents.push_back(a);
+      s.coefficients.push_back(c * primitive_norm(a, s.l, 0, 0));
+    }
+    return s;
+  };
+  double m = 0.0;
+  for (int i = 0; i < n_quartets; ++i) {
+    const Shell a = random_shell(), b = random_shell(), c = random_shell(),
+                d = random_shell();
+    m = std::max(m, block_max_diff(eri_shell_quartet_direct(a, b, c, d),
+                                   eri_shell_quartet(a, b, c, d)));
+  }
+  return m;
+}
+
+int run_smoke(const std::string& json_path, double min_speedup,
+              std::uint64_t seed) {
+  std::cout << "bench_kernel --smoke (seed " << seed << ")\n"
+            << "direct = seed kernel (per-quartet Hermite tables, series "
+               "Boys); cached = shell-pair cache + Boys table\n\n";
+
+  const BasisSet sto3g = BasisSet::build(make_water(), "sto-3g");
+  const BasisSet g631s = BasisSet::build(make_water(), "6-31g*");
+  const Shell& o1s = sto3g.shells()[0];
+  const Shell& o2p = sto3g.shells()[2];
+  const Shell& h1s = sto3g.shells()[3];
+  // 6-31g* water: O = 1s, 2s, 2p, 3s, 3p, 3d.
+  const Shell& od = g631s.shells()[5];
+
+  std::vector<ClassResult> classes;
+  classes.push_back(time_quartet_class("(ss|ss) deep", o1s, o1s, o1s, o1s,
+                                       200));
+  classes.push_back(time_quartet_class("(sp|sp)", h1s, o2p, h1s, o2p, 100));
+  classes.push_back(time_quartet_class("(pp|pp)", o2p, o2p, o2p, o2p, 20));
+  classes.push_back(time_quartet_class("(dd|dd)", od, od, od, od, 10));
+
+  std::printf("%-14s %12s %12s %9s %10s\n", "class", "direct_ns",
+              "cached_ns", "speedup", "max_diff");
+  double max_diff = 0.0;
+  for (const ClassResult& c : classes) {
+    std::printf("%-14s %12.0f %12.0f %8.2fx %10.2e\n", c.name.c_str(),
+                c.direct_ns, c.cached_ns, c.speedup(), c.max_diff);
+    max_diff = std::max(max_diff, c.max_diff);
+  }
+
+  // The acceptance workload: water-cluster Fock build in 6-31G.
+  const BasisSet cluster =
+      BasisSet::build(make_water_cluster(2), "6-31g");
+  const FockBuilder builder(cluster);
+  const FockSweepResult sweep = fock_sweep(builder, 2);
+  std::printf("\nFock sweep water2/6-31G (%llu quartets): "
+              "direct %.1f ms, cached %.1f ms, speedup %.2fx\n",
+              static_cast<unsigned long long>(sweep.quartets),
+              sweep.direct_ms, sweep.cached_ms, sweep.speedup());
+
+  const double rand_diff = random_quartet_max_diff(seed, 24);
+  max_diff = std::max(max_diff, rand_diff);
+  std::printf("randomized s/p/d quartet agreement: max |diff| = %.2e\n",
+              rand_diff);
+
+  const bool accuracy_ok = max_diff < 1e-10;
+  const bool speed_ok = sweep.speedup() >= min_speedup;
+  const bool passed = accuracy_ok && speed_ok;
+
+  std::ofstream out(json_path);
+  if (!out) {
+    std::cerr << "FAIL: cannot write " << json_path << "\n";
+    return 1;
+  }
+  out << "{\n  \"bench\": \"bench_kernel\",\n  \"mode\": \"smoke\",\n"
+      << "  \"seed\": " << seed << ",\n  \"quartet_classes\": [\n";
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    const ClassResult& c = classes[i];
+    out << "    {\"class\": \"" << c.name << "\", \"direct_ns\": "
+        << c.direct_ns << ", \"cached_ns\": " << c.cached_ns
+        << ", \"speedup\": " << c.speedup() << ", \"max_diff\": "
+        << c.max_diff << "}" << (i + 1 < classes.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"fock_sweep\": {\"workload\": \"water2/6-31g\", "
+      << "\"quartets\": " << sweep.quartets << ", \"direct_ms\": "
+      << sweep.direct_ms << ", \"cached_ms\": " << sweep.cached_ms
+      << ", \"speedup\": " << sweep.speedup() << "},\n"
+      << "  \"checks\": {\"max_abs_diff\": " << max_diff
+      << ", \"min_speedup_gate\": " << min_speedup << ", \"accuracy_ok\": "
+      << (accuracy_ok ? "true" : "false") << ", \"passed\": "
+      << (passed ? "true" : "false") << "}\n}\n";
+  out.close();
+  std::cout << "wrote " << json_path << "\n";
+
+  if (!accuracy_ok) {
+    std::cerr << "FAIL: cached kernel disagrees with the direct kernel ("
+              << max_diff << " > 1e-10)\n";
+    return 1;
+  }
+  if (!speed_ok) {
+    std::cerr << "FAIL: Fock-sweep speedup " << sweep.speedup()
+              << "x below the regression gate " << min_speedup << "x\n";
+    return 1;
+  }
+  std::cout << "smoke PASSED\n";
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// --calibrate: re-fit the analytic cost-model constants
+// ---------------------------------------------------------------------------
+
+/// Solves the 5x5 normal equations A c = b by Gaussian elimination with
+/// partial pivoting (small and self-contained on purpose).
+std::vector<double> solve_normal_equations(std::vector<std::vector<double>> a,
+                                           std::vector<double> b) {
+  const std::size_t n = b.size();
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t piv = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a[r][col]) > std::abs(a[piv][col])) piv = r;
+    }
+    std::swap(a[col], a[piv]);
+    std::swap(b[col], b[piv]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a[r][col] / a[col][col];
+      for (std::size_t c = col; c < n; ++c) a[r][c] -= f * a[col][c];
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t r = n; r-- > 0;) {
+    double s = b[r];
+    for (std::size_t c = r + 1; c < n; ++c) s -= a[r][c] * x[c];
+    x[r] = s / a[r][r];
+  }
+  return x;
+}
+
+int run_calibrate() {
+  struct Workload {
+    std::string molecule, basis;
+  };
+  const std::vector<Workload> workloads{{"water2", "sto-3g"},
+                                        {"water2", "6-31g"},
+                                        {"water", "6-31g*"},
+                                        {"alkane4", "sto-3g"}};
+
+  std::vector<std::vector<double>> features;  // [1, scan, nq, prim, prim_fn]
+  std::vector<double> measured;
+
+  for (const Workload& w : workloads) {
+    emc::core::TaskModelOptions opts;
+    opts.basis_name = w.basis;
+    opts.measure_costs = true;
+    const emc::core::TaskModel model =
+        emc::core::build_task_model(w.molecule, opts);
+    const FockBuilder builder(model.basis, opts.screen_threshold);
+    for (std::size_t t = 0; t < model.task_count(); ++t) {
+      const TaskCostFeatures f = builder.task_cost_features(model.tasks[t]);
+      features.push_back({1.0, f.scan, f.quartets, f.prim_quartets,
+                          f.prim_fn});
+      measured.push_back(model.costs[t]);
+    }
+    std::cout << w.molecule << "/" << w.basis << ": " << model.task_count()
+              << " tasks measured\n";
+  }
+
+  // Non-negative least squares by active-set elimination: solve the
+  // normal equations, drop the most-negative coefficient's column, and
+  // refit until all survivors are non-negative. Plain clamping would
+  // leave the redistributed weight of a collinear feature (scan vs
+  // quartets) stranded in the intercept.
+  const std::size_t dim = 5;
+  std::vector<bool> active(dim, true);
+  std::vector<double> c(dim, 0.0);
+  for (;;) {
+    std::vector<std::size_t> cols;
+    for (std::size_t i = 0; i < dim; ++i) {
+      if (active[i]) cols.push_back(i);
+    }
+    std::vector<std::vector<double>> ata(cols.size(),
+                                         std::vector<double>(cols.size()));
+    std::vector<double> atb(cols.size(), 0.0);
+    for (std::size_t s = 0; s < features.size(); ++s) {
+      for (std::size_t i = 0; i < cols.size(); ++i) {
+        atb[i] += features[s][cols[i]] * measured[s];
+        for (std::size_t j = 0; j < cols.size(); ++j) {
+          ata[i][j] += features[s][cols[i]] * features[s][cols[j]];
+        }
+      }
+    }
+    const std::vector<double> sol = solve_normal_equations(ata, atb);
+    std::size_t worst = cols.size();
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      if (sol[i] < 0.0 &&
+          (worst == cols.size() || sol[i] < sol[worst])) {
+        worst = i;
+      }
+    }
+    if (worst == cols.size()) {
+      std::fill(c.begin(), c.end(), 0.0);
+      for (std::size_t i = 0; i < cols.size(); ++i) c[cols[i]] = sol[i];
+      break;
+    }
+    std::cout << "  (dropping non-resolvable feature " << cols[worst]
+              << " with negative weight " << sol[worst] << ")\n";
+    active[cols[worst]] = false;
+  }
+
+  const double unit = c[4];  // seconds per prim-quartet-function unit
+  std::cout << "\nfitted (seconds): dispatch " << c[0] << ", per-scan "
+            << c[1] << ", per-quartet " << c[2] << ", per-prim-quartet "
+            << c[3] << ", per-prim-fn " << c[4] << "\n";
+  std::cout << "model constants (prim-fn units):\n"
+            << "  kTaskDispatch   = " << c[0] / unit << "\n"
+            << "  kKetScanPerPair = " << c[1] / unit << "\n"
+            << "  kPerQuartet     = " << c[2] / unit << "\n"
+            << "  kPerPrimQuartet = " << c[3] / unit << "\n"
+            << "  analytic_cost_scale (s/unit) = " << unit << "\n";
+
+  // Quality of the re-fitted model on the pooled sample.
+  std::vector<double> estimated;
+  estimated.reserve(features.size());
+  for (const auto& f : features) {
+    double e = 0.0;
+    for (std::size_t i = 0; i < dim; ++i) e += c[i] * f[i];
+    estimated.push_back(e / unit);
+  }
+  const auto report = emc::core::calibrate_cost_model(estimated, measured);
+  std::cout << "fit quality: pearson " << report.pearson << ", spearman "
+            << report.spearman << ", scale " << report.scale << " s/unit ("
+            << report.samples << " samples)\n";
+  return 0;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_kernel.json";
+  double min_speedup = 1.2;
+  std::uint64_t seed = 12345;
+  bool smoke = false, calibrate = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--calibrate") {
+      calibrate = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg.rfind("--min-speedup=", 0) == 0) {
+      min_speedup = std::stod(arg.substr(14));
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::stoull(arg.substr(7));
+    }
+  }
+
+  if (calibrate) return run_calibrate();
+  if (smoke) return run_smoke(json_path, min_speedup, seed);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

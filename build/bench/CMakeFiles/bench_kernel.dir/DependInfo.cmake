@@ -13,9 +13,15 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/emc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lb/CMakeFiles/emc_lb.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/emc_graph.dir/DependInfo.cmake"
   "/root/repo/build/src/chem/CMakeFiles/emc_chem.dir/DependInfo.cmake"
   "/root/repo/build/src/linalg/CMakeFiles/emc_linalg.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/emc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/emc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/emc_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/pgas/CMakeFiles/emc_pgas.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -186,6 +186,7 @@ bench/CMakeFiles/bench_lb_cost.dir/bench_lb_cost.cpp.o: \
  /root/repo/src/core/experiment.hpp /root/repo/src/core/task_model.hpp \
  /root/repo/src/chem/basis.hpp /root/repo/src/chem/molecule.hpp \
  /usr/include/c++/12/array /root/repo/src/chem/fock.hpp \
+ /root/repo/src/chem/shell_pair.hpp /root/repo/src/chem/integrals.hpp \
  /root/repo/src/linalg/matrix.hpp /usr/include/c++/12/span \
  /root/repo/src/graph/hypergraph.hpp /root/repo/src/lb/semi_matching.hpp \
  /root/repo/src/lb/partition.hpp /root/repo/src/sim/machine.hpp \

@@ -200,4 +200,5 @@ examples/CMakeFiles/properties_demo.dir/properties_demo.cpp.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/chem/fock.hpp \
- /root/repo/src/chem/properties.hpp /root/repo/src/util/cli.hpp
+ /root/repo/src/chem/shell_pair.hpp /root/repo/src/chem/properties.hpp \
+ /root/repo/src/util/cli.hpp

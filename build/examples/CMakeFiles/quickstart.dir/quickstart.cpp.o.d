@@ -174,6 +174,7 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/chem/fock.hpp \
+ /root/repo/src/chem/shell_pair.hpp /root/repo/src/chem/integrals.hpp \
  /root/repo/src/linalg/matrix.hpp /usr/include/c++/12/cstddef \
  /usr/include/c++/12/span /root/repo/src/core/experiment.hpp \
  /root/repo/src/core/task_model.hpp /root/repo/src/graph/hypergraph.hpp \

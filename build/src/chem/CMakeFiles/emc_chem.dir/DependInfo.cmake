@@ -18,6 +18,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/chem/mp2.cpp" "src/chem/CMakeFiles/emc_chem.dir/mp2.cpp.o" "gcc" "src/chem/CMakeFiles/emc_chem.dir/mp2.cpp.o.d"
   "/root/repo/src/chem/properties.cpp" "src/chem/CMakeFiles/emc_chem.dir/properties.cpp.o" "gcc" "src/chem/CMakeFiles/emc_chem.dir/properties.cpp.o.d"
   "/root/repo/src/chem/scf.cpp" "src/chem/CMakeFiles/emc_chem.dir/scf.cpp.o" "gcc" "src/chem/CMakeFiles/emc_chem.dir/scf.cpp.o.d"
+  "/root/repo/src/chem/shell_pair.cpp" "src/chem/CMakeFiles/emc_chem.dir/shell_pair.cpp.o" "gcc" "src/chem/CMakeFiles/emc_chem.dir/shell_pair.cpp.o.d"
   "/root/repo/src/chem/uhf.cpp" "src/chem/CMakeFiles/emc_chem.dir/uhf.cpp.o" "gcc" "src/chem/CMakeFiles/emc_chem.dir/uhf.cpp.o.d"
   )
 

@@ -19,6 +19,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/emc_chem.dir/properties.cpp.o.d"
   "CMakeFiles/emc_chem.dir/scf.cpp.o"
   "CMakeFiles/emc_chem.dir/scf.cpp.o.d"
+  "CMakeFiles/emc_chem.dir/shell_pair.cpp.o"
+  "CMakeFiles/emc_chem.dir/shell_pair.cpp.o.d"
   "CMakeFiles/emc_chem.dir/uhf.cpp.o"
   "CMakeFiles/emc_chem.dir/uhf.cpp.o.d"
   "libemc_chem.a"

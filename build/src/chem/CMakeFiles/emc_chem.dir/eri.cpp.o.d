@@ -125,6 +125,7 @@ src/chem/CMakeFiles/emc_chem.dir/eri.cpp.o: /root/repo/src/chem/eri.cpp \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc \
  /root/repo/src/chem/molecule.hpp /usr/include/c++/12/array \
+ /root/repo/src/chem/shell_pair.hpp /root/repo/src/chem/integrals.hpp \
  /root/repo/src/linalg/matrix.hpp /usr/include/c++/12/span \
  /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
@@ -149,4 +150,4 @@ src/chem/CMakeFiles/emc_chem.dir/eri.cpp.o: /root/repo/src/chem/eri.cpp \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
- /root/repo/src/chem/constants.hpp /root/repo/src/chem/integrals.hpp
+ /root/repo/src/chem/constants.hpp

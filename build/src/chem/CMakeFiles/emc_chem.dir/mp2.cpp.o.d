@@ -139,10 +139,10 @@ src/chem/CMakeFiles/emc_chem.dir/mp2.cpp.o: /root/repo/src/chem/mp2.cpp \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/chem/fock.hpp \
+ /root/repo/src/chem/shell_pair.hpp /root/repo/src/chem/integrals.hpp \
  /root/repo/src/linalg/matrix.hpp /usr/include/c++/12/cstddef \
  /usr/include/c++/12/span /usr/include/c++/12/stdexcept \
  /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/bits/nested_exception.h /root/repo/src/chem/eri.hpp \
- /root/repo/src/chem/integrals.hpp /root/repo/src/linalg/blas.hpp \
- /root/repo/src/linalg/eigen.hpp
+ /root/repo/src/linalg/blas.hpp /root/repo/src/linalg/eigen.hpp

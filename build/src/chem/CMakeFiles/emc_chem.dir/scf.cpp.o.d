@@ -138,6 +138,7 @@ src/chem/CMakeFiles/emc_chem.dir/scf.cpp.o: /root/repo/src/chem/scf.cpp \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/chem/basis.hpp \
  /root/repo/src/chem/molecule.hpp /root/repo/src/chem/fock.hpp \
+ /root/repo/src/chem/shell_pair.hpp /root/repo/src/chem/integrals.hpp \
  /root/repo/src/linalg/matrix.hpp /usr/include/c++/12/cstddef \
  /usr/include/c++/12/span /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
@@ -167,10 +168,9 @@ src/chem/CMakeFiles/emc_chem.dir/scf.cpp.o: /root/repo/src/chem/scf.cpp \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/bits/nested_exception.h \
- /root/repo/src/chem/integrals.hpp /root/repo/src/linalg/blas.hpp \
- /root/repo/src/linalg/eigen.hpp /root/repo/src/linalg/factor.hpp \
- /root/repo/src/util/log.hpp /usr/include/c++/12/mutex \
- /usr/include/c++/12/system_error \
+ /root/repo/src/linalg/blas.hpp /root/repo/src/linalg/eigen.hpp \
+ /root/repo/src/linalg/factor.hpp /root/repo/src/util/log.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/system_error \
  /usr/include/x86_64-linux-gnu/c++/12/bits/error_constants.h \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/ctime /usr/include/time.h \

@@ -139,6 +139,7 @@ src/chem/CMakeFiles/emc_chem.dir/uhf.cpp.o: /root/repo/src/chem/uhf.cpp \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/chem/fock.hpp \
+ /root/repo/src/chem/shell_pair.hpp /root/repo/src/chem/integrals.hpp \
  /root/repo/src/linalg/matrix.hpp /usr/include/c++/12/cstddef \
  /usr/include/c++/12/span /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
@@ -168,10 +169,9 @@ src/chem/CMakeFiles/emc_chem.dir/uhf.cpp.o: /root/repo/src/chem/uhf.cpp \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/bits/nested_exception.h \
- /root/repo/src/chem/integrals.hpp /root/repo/src/linalg/blas.hpp \
- /root/repo/src/linalg/eigen.hpp /root/repo/src/linalg/factor.hpp \
- /root/repo/src/util/log.hpp /usr/include/c++/12/mutex \
- /usr/include/c++/12/system_error \
+ /root/repo/src/linalg/blas.hpp /root/repo/src/linalg/eigen.hpp \
+ /root/repo/src/linalg/factor.hpp /root/repo/src/util/log.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/system_error \
  /usr/include/x86_64-linux-gnu/c++/12/bits/error_constants.h \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/ctime /usr/include/time.h \

@@ -124,6 +124,7 @@ src/core/CMakeFiles/emc_core.dir/distributed_fock.cpp.o: \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/chem/basis.hpp \
  /root/repo/src/chem/molecule.hpp /usr/include/c++/12/array \
+ /root/repo/src/chem/shell_pair.hpp /root/repo/src/chem/integrals.hpp \
  /root/repo/src/linalg/matrix.hpp /usr/include/c++/12/cstddef \
  /usr/include/c++/12/span /root/repo/src/chem/scf.hpp \
  /usr/include/c++/12/functional /usr/include/c++/12/tuple \

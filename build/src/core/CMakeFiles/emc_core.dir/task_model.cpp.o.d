@@ -123,7 +123,8 @@ src/core/CMakeFiles/emc_core.dir/task_model.cpp.o: \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/chem/basis.hpp \
  /root/repo/src/chem/molecule.hpp /usr/include/c++/12/array \
- /root/repo/src/chem/fock.hpp /root/repo/src/linalg/matrix.hpp \
+ /root/repo/src/chem/fock.hpp /root/repo/src/chem/shell_pair.hpp \
+ /root/repo/src/chem/integrals.hpp /root/repo/src/linalg/matrix.hpp \
  /usr/include/c++/12/cstddef /usr/include/c++/12/span \
  /root/repo/src/graph/hypergraph.hpp /root/repo/src/lb/semi_matching.hpp \
  /root/repo/src/lb/partition.hpp /usr/include/c++/12/algorithm \

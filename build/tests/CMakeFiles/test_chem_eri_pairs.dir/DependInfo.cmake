@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_chem_eri_pairs.cpp" "tests/CMakeFiles/test_chem_eri_pairs.dir/test_chem_eri_pairs.cpp.o" "gcc" "tests/CMakeFiles/test_chem_eri_pairs.dir/test_chem_eri_pairs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/emc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/emc_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/emc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pgas/CMakeFiles/emc_pgas.dir/DependInfo.cmake"
+  "/root/repo/build/src/lb/CMakeFiles/emc_lb.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/emc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/chem/CMakeFiles/emc_chem.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/emc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/emc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

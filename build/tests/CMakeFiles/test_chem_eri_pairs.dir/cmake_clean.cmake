@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chem_eri_pairs.dir/test_chem_eri_pairs.cpp.o"
+  "CMakeFiles/test_chem_eri_pairs.dir/test_chem_eri_pairs.cpp.o.d"
+  "test_chem_eri_pairs"
+  "test_chem_eri_pairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chem_eri_pairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_chem_eri_pairs.
+# This may be replaced when dependencies are built.

@@ -317,5 +317,5 @@ tests/CMakeFiles/test_chem_integrals.dir/test_chem_integrals.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/chem/boys.hpp \
  /usr/include/c++/12/span /root/repo/src/chem/constants.hpp \
  /root/repo/src/chem/eri.hpp /root/repo/src/chem/basis.hpp \
- /root/repo/src/chem/molecule.hpp /root/repo/src/linalg/matrix.hpp \
- /root/repo/src/chem/integrals.hpp
+ /root/repo/src/chem/molecule.hpp /root/repo/src/chem/shell_pair.hpp \
+ /root/repo/src/chem/integrals.hpp /root/repo/src/linalg/matrix.hpp

@@ -317,4 +317,5 @@ tests/CMakeFiles/test_chem_mp2.dir/test_chem_mp2.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/chem/mp2.hpp \
  /root/repo/src/chem/basis.hpp /root/repo/src/chem/molecule.hpp \
  /root/repo/src/chem/scf.hpp /root/repo/src/chem/fock.hpp \
+ /root/repo/src/chem/shell_pair.hpp /root/repo/src/chem/integrals.hpp \
  /root/repo/src/linalg/matrix.hpp /usr/include/c++/12/span

@@ -319,5 +319,6 @@ tests/CMakeFiles/test_chem_optimize.dir/test_chem_optimize.cpp.o: \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/chem/properties.hpp /root/repo/src/chem/basis.hpp \
  /root/repo/src/chem/molecule.hpp /root/repo/src/chem/scf.hpp \
- /root/repo/src/chem/fock.hpp /root/repo/src/linalg/matrix.hpp \
+ /root/repo/src/chem/fock.hpp /root/repo/src/chem/shell_pair.hpp \
+ /root/repo/src/chem/integrals.hpp /root/repo/src/linalg/matrix.hpp \
  /usr/include/c++/12/span

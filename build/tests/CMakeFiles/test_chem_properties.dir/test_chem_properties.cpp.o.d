@@ -318,4 +318,4 @@ tests/CMakeFiles/test_chem_properties.dir/test_chem_properties.cpp.o: \
  /root/repo/src/chem/molecule.hpp /root/repo/src/chem/constants.hpp \
  /root/repo/src/chem/integrals.hpp /root/repo/src/linalg/matrix.hpp \
  /usr/include/c++/12/span /root/repo/src/chem/scf.hpp \
- /root/repo/src/chem/fock.hpp
+ /root/repo/src/chem/fock.hpp /root/repo/src/chem/shell_pair.hpp

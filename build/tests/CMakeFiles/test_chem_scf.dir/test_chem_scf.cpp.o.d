@@ -316,6 +316,7 @@ tests/CMakeFiles/test_chem_scf.dir/test_chem_scf.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/chem/eri.hpp \
  /root/repo/src/chem/basis.hpp /root/repo/src/chem/molecule.hpp \
+ /root/repo/src/chem/shell_pair.hpp /root/repo/src/chem/integrals.hpp \
  /root/repo/src/linalg/matrix.hpp /usr/include/c++/12/span \
- /root/repo/src/chem/fock.hpp /root/repo/src/chem/integrals.hpp \
- /root/repo/src/chem/scf.hpp /root/repo/src/linalg/blas.hpp
+ /root/repo/src/chem/fock.hpp /root/repo/src/chem/scf.hpp \
+ /root/repo/src/linalg/blas.hpp

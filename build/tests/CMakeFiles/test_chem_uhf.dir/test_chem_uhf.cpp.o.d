@@ -316,5 +316,6 @@ tests/CMakeFiles/test_chem_uhf.dir/test_chem_uhf.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/chem/scf.hpp \
  /root/repo/src/chem/basis.hpp /root/repo/src/chem/molecule.hpp \
- /root/repo/src/chem/fock.hpp /root/repo/src/linalg/matrix.hpp \
+ /root/repo/src/chem/fock.hpp /root/repo/src/chem/shell_pair.hpp \
+ /root/repo/src/chem/integrals.hpp /root/repo/src/linalg/matrix.hpp \
  /usr/include/c++/12/span /root/repo/src/chem/uhf.hpp

@@ -295,6 +295,7 @@ tests/CMakeFiles/test_distributed_fock.dir/test_distributed_fock.cpp.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/chem/scf.hpp /root/repo/src/chem/basis.hpp \
  /root/repo/src/chem/molecule.hpp /root/repo/src/chem/fock.hpp \
+ /root/repo/src/chem/shell_pair.hpp /root/repo/src/chem/integrals.hpp \
  /root/repo/src/linalg/matrix.hpp /usr/include/c++/12/span \
  /root/repo/src/core/distributed_fock.hpp \
  /root/repo/src/exec/schedulers.hpp /root/repo/src/lb/partition.hpp \

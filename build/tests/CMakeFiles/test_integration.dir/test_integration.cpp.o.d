@@ -294,7 +294,8 @@ tests/CMakeFiles/test_integration.dir/test_integration.cpp.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/chem/fock.hpp /root/repo/src/chem/basis.hpp \
- /root/repo/src/chem/molecule.hpp /root/repo/src/linalg/matrix.hpp \
+ /root/repo/src/chem/molecule.hpp /root/repo/src/chem/shell_pair.hpp \
+ /root/repo/src/chem/integrals.hpp /root/repo/src/linalg/matrix.hpp \
  /usr/include/c++/12/span /root/repo/src/chem/scf.hpp \
  /root/repo/src/core/experiment.hpp /root/repo/src/core/task_model.hpp \
  /root/repo/src/graph/hypergraph.hpp /root/repo/src/lb/semi_matching.hpp \

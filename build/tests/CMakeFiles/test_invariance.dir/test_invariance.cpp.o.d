@@ -318,6 +318,6 @@ tests/CMakeFiles/test_invariance.dir/test_invariance.cpp.o: \
  /root/repo/src/chem/molecule.hpp /root/repo/src/chem/integrals.hpp \
  /root/repo/src/linalg/matrix.hpp /usr/include/c++/12/span \
  /root/repo/src/chem/scf.hpp /root/repo/src/chem/fock.hpp \
- /root/repo/src/core/calibration.hpp /root/repo/src/core/task_model.hpp \
- /root/repo/src/graph/hypergraph.hpp /root/repo/src/lb/semi_matching.hpp \
- /root/repo/src/lb/partition.hpp
+ /root/repo/src/chem/shell_pair.hpp /root/repo/src/core/calibration.hpp \
+ /root/repo/src/core/task_model.hpp /root/repo/src/graph/hypergraph.hpp \
+ /root/repo/src/lb/semi_matching.hpp /root/repo/src/lb/partition.hpp

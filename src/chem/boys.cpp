@@ -12,12 +12,12 @@ namespace {
 
 /// Ascending series for F_m(x):
 ///   F_m(x) = e^{-x} / 2 * sum_{k>=0} (2m-1)!! (2x)^k / (2m+2k+1)!!
-/// expressed as the equivalent Kummer series; converges fast for x < ~35.
+/// expressed as the equivalent Kummer series; converges fast for x < ~45.
 double boys_series(int m, double x) {
   const double expmx = std::exp(-x);
   double term = 1.0 / (2.0 * static_cast<double>(m) + 1.0);
   double sum = term;
-  for (int k = 1; k < 200; ++k) {
+  for (int k = 1; k < 300; ++k) {
     term *= 2.0 * x / (2.0 * static_cast<double>(m + k) + 1.0);
     sum += term;
     if (term < 1e-17 * sum) break;
@@ -25,30 +25,98 @@ double boys_series(int m, double x) {
   return expmx * sum;
 }
 
+/// Asymptotic large-x evaluation: F_0 = sqrt(pi/(4x)) and upward
+/// recursion with the (negligible there) e^{-x} term dropped.
+void boys_asymptotic(double x, std::span<double> out) {
+  out[0] = 0.5 * std::sqrt(kPi / x);
+  const double inv2x = 1.0 / (2.0 * x);
+  for (std::size_t m = 1; m < out.size(); ++m) {
+    out[m] = out[m - 1] * (2.0 * static_cast<double>(m) - 1.0) * inv2x;
+  }
+}
+
+// Table layout: kGridPoints rows at x = i * kGridStep, each holding
+// orders 0..kTableOrders-1. The Taylor expansion of order m needs table
+// columns m..m+kTaylorTerms-1, so the fast path serves m <= kTableMaxM.
+constexpr double kLargeX = 35.0;     ///< switch to asymptotic evaluation
+constexpr double kSeriesMax = 45.0;  ///< reference: series below this
+constexpr int kTaylorTerms = 7;      ///< |delta| <= 0.05 -> error ~1e-14
+constexpr double kGridStep = 0.1;
+constexpr double kInvGridStep = 10.0;
+constexpr int kGridPoints = 352;  ///< covers x in [0, 35.1)
+constexpr int kTableMaxM = 20;
+constexpr int kTableOrders = kTableMaxM + kTaylorTerms;
+
+struct BoysTable {
+  std::vector<double> f;
+
+  BoysTable() : f(static_cast<std::size_t>(kGridPoints) * kTableOrders) {
+    for (int i = 0; i < kGridPoints; ++i) {
+      const double x = kGridStep * static_cast<double>(i);
+      double* row = &f[static_cast<std::size_t>(i) * kTableOrders];
+      row[kTableOrders - 1] = boys_series(kTableOrders - 1, x);
+      const double expmx = std::exp(-x);
+      for (int m = kTableOrders - 2; m >= 0; --m) {
+        row[m] = (2.0 * x * row[m + 1] + expmx) /
+                 (2.0 * static_cast<double>(m) + 1.0);
+      }
+    }
+  }
+};
+
+const BoysTable& boys_table() {
+  static const BoysTable table;
+  return table;
+}
+
 }  // namespace
+
+void boys_reference(double x, std::span<double> out) {
+  if (out.empty()) return;
+  if (x < 0.0) throw std::invalid_argument("boys: x must be >= 0");
+  if (x >= kSeriesMax) {
+    boys_asymptotic(x, out);
+    return;
+  }
+  const int m_max = static_cast<int>(out.size()) - 1;
+  out[static_cast<std::size_t>(m_max)] = boys_series(m_max, x);
+  const double expmx = std::exp(-x);
+  for (int m = m_max - 1; m >= 0; --m) {
+    out[static_cast<std::size_t>(m)] =
+        (2.0 * x * out[static_cast<std::size_t>(m + 1)] + expmx) /
+        (2.0 * static_cast<double>(m) + 1.0);
+  }
+}
 
 void boys(double x, std::span<double> out) {
   if (out.empty()) return;
   if (x < 0.0) throw std::invalid_argument("boys: x must be >= 0");
+  if (x >= kLargeX) {
+    boys_asymptotic(x, out);
+    return;
+  }
   const int m_max = static_cast<int>(out.size()) - 1;
+  if (m_max > kTableMaxM) {
+    boys_reference(x, out);
+    return;
+  }
 
-  if (x < 35.0) {
-    out[static_cast<std::size_t>(m_max)] = boys_series(m_max, x);
-    const double expmx = std::exp(-x);
-    for (int m = m_max - 1; m >= 0; --m) {
-      out[static_cast<std::size_t>(m)] =
-          (2.0 * x * out[static_cast<std::size_t>(m + 1)] + expmx) /
-          (2.0 * static_cast<double>(m) + 1.0);
-    }
-  } else {
-    // Asymptotic: F_0(x) ~ sqrt(pi / (4x)); e^{-x} underflows relevance.
-    out[0] = 0.5 * std::sqrt(kPi / x);
-    const double inv2x = 1.0 / (2.0 * x);
-    for (int m = 1; m <= m_max; ++m) {
-      out[static_cast<std::size_t>(m)] =
-          out[static_cast<std::size_t>(m - 1)] *
-          (2.0 * static_cast<double>(m) - 1.0) * inv2x;
-    }
+  const BoysTable& table = boys_table();
+  const int i = static_cast<int>(x * kInvGridStep + 0.5);
+  const double* row = &table.f[static_cast<std::size_t>(i) * kTableOrders];
+  // F_m(x_i + d) = sum_j F_{m+j}(x_i) (-d)^j / j!  since F_m' = -F_{m+1}.
+  const double s = kGridStep * static_cast<double>(i) - x;
+  double acc = row[m_max + kTaylorTerms - 1];
+  for (int j = kTaylorTerms - 1; j >= 1; --j) {
+    acc = acc * s / static_cast<double>(j) + row[m_max + j - 1];
+  }
+  out[static_cast<std::size_t>(m_max)] = acc;
+
+  const double expmx = std::exp(-x);
+  for (int m = m_max - 1; m >= 0; --m) {
+    out[static_cast<std::size_t>(m)] =
+        (2.0 * x * out[static_cast<std::size_t>(m + 1)] + expmx) /
+        (2.0 * static_cast<double>(m) + 1.0);
   }
 }
 

@@ -9,14 +9,23 @@ namespace emc::chem {
 
 /// Fills out[0..m_max] with F_0(x) .. F_m_max(x).
 ///
-/// Strategy: for small/moderate x, evaluate F_{m_max} by its (rapidly
-/// converging) ascending series and fill lower orders by stable downward
-/// recursion F_m = (2x F_{m+1} + e^{-x}) / (2m + 1). For large x, use the
-/// asymptotic closed form of F_0 and upward recursion, which is stable
-/// there because e^{-x} is negligible.
+/// Fast path: F_{m_max} is read from a precomputed table (grid step 0.1
+/// over [0, 35)) via a 7-term Taylor expansion around the nearest grid
+/// point — exact to ~1e-14 because d/dx F_m = -F_{m+1}, so the expansion
+/// only needs higher table columns — and lower orders follow by the
+/// stable downward recursion F_m = (2x F_{m+1} + e^{-x}) / (2m + 1). For
+/// large x the asymptotic closed form of F_0 plus upward recursion is
+/// used (stable there because e^{-x} is negligible). Orders beyond the
+/// table fall back to boys_reference.
 void boys(double x, std::span<double> out);
 
 /// Single-order convenience wrapper.
 double boys(int m, double x);
+
+/// Reference evaluation (the seed implementation): ascending Kummer
+/// series for F_{m_max} plus downward recursion for x below ~45, the
+/// asymptotic form above. Slow but independent of the table; used to
+/// build the table and as the accuracy oracle in tests.
+void boys_reference(double x, std::span<double> out);
 
 }  // namespace emc::chem

@@ -7,11 +7,19 @@
 // their cost varies steeply with the shells' contraction depths, angular
 // momenta, and screening outcomes — they are the source of the task-cost
 // heterogeneity the paper's execution-model study revolves around.
+//
+// The production entry points consume precomputed ShellPairData (see
+// shell_pair.hpp): Hermite E tables, merged exponents, and weighted
+// centers are built once per shell pair and reused across every quartet,
+// and primitive quartets whose Schwarz-like bound product is negligible
+// (< 1e-17) are pruned. The seed kernel that rebuilt everything per call
+// is kept as eri_shell_quartet_direct — the reference/benchmark baseline.
 
 #include <cstddef>
 #include <vector>
 
 #include "chem/basis.hpp"
+#include "chem/shell_pair.hpp"
 #include "linalg/matrix.hpp"
 
 namespace emc::chem {
@@ -53,15 +61,35 @@ class EriBlock {
   std::vector<double> data_;
 };
 
-/// Computes the contracted, normalized quartet (ab|cd).
+/// Computes the contracted, normalized quartet (ab|cd) from two cached
+/// shell pairs — the fast path every production caller uses.
+EriBlock eri_shell_quartet(const ShellPairData& bra,
+                           const ShellPairData& ket);
+
+/// Convenience wrapper: builds the two pair records on the fly. Keeps
+/// the original four-shell signature working for call sites that do not
+/// hold a ShellPairList.
 EriBlock eri_shell_quartet(const Shell& sa, const Shell& sb, const Shell& sc,
                            const Shell& sd);
 
+/// The seed kernel, unchanged: rebuilds Hermite E tables inside the
+/// primitive-quartet loop and evaluates the Boys function by its series.
+/// Kept as the independent reference for property tests and for the
+/// old-vs-new comparison in bench_kernel.
+EriBlock eri_shell_quartet_direct(const Shell& sa, const Shell& sb,
+                                  const Shell& sc, const Shell& sd);
+
 /// Schwarz screening bounds: Q(i,j) = sqrt(max |(ij|ij)|) over the
 /// functions of shell pair (i, j); |(ab|cd)| <= Q(a,b) * Q(c,d).
+/// The ShellPairList overload reuses the cached pair data and only
+/// normalizes the (fa, fb, fa, fb) diagonal entries it actually reads.
+linalg::Matrix schwarz_matrix(const ShellPairList& pairs);
 linalg::Matrix schwarz_matrix(const BasisSet& basis);
 
-/// Full AO ERI tensor (n^4 doubles) for small test systems.
+/// Full AO ERI tensor (n^4 doubles) for small test systems. Only
+/// canonical quartets (i >= j, k >= l, rank(ij) >= rank(kl)) are
+/// computed; the other entries are filled from the 8-fold permutational
+/// symmetry, so the tensor is bitwise symmetric under it.
 /// Index order: (ij|kl) at [((i*n + j)*n + k)*n + l].
 std::vector<double> full_eri_tensor(const BasisSet& basis);
 

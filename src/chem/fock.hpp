@@ -15,6 +15,7 @@
 
 #include "chem/basis.hpp"
 #include "chem/molecule.hpp"
+#include "chem/shell_pair.hpp"
 #include "linalg/matrix.hpp"
 
 namespace emc::chem {
@@ -26,12 +27,16 @@ struct ShellPairTask {
   std::uint64_t rank = 0;   ///< canonical pair rank si*(si+1)/2 + sj
 };
 
-/// Canonical rank of an ordered shell pair (i >= j).
-inline std::uint64_t pair_rank(int i, int j) {
-  return static_cast<std::uint64_t>(i) * (static_cast<std::uint64_t>(i) + 1) /
-             2 +
-         static_cast<std::uint64_t>(j);
-}
+/// Raw per-task work counters that underlie the analytic cost model.
+/// Exposed so the calibration harness (bench_kernel --calibrate) can
+/// re-fit the model constants against wall-time measurements whenever
+/// the kernel's cost profile changes.
+struct TaskCostFeatures {
+  double quartets = 0.0;       ///< ket pairs surviving Schwarz screening
+  double prim_quartets = 0.0;  ///< sum of primitive-quartet counts
+  double prim_fn = 0.0;        ///< sum of prim-quartet * function products
+  double scan = 0.0;           ///< ket pairs scanned (rank + 1)
+};
 
 class FockBuilder {
  public:
@@ -42,6 +47,8 @@ class FockBuilder {
   const BasisSet& basis() const { return *basis_; }
   double screen_threshold() const { return screen_threshold_; }
   const linalg::Matrix& schwarz() const { return schwarz_; }
+  /// The precomputed shell-pair cache shared by every task.
+  const ShellPairList& shell_pairs() const { return pairs_; }
 
   /// All tasks in canonical (rank) order.
   std::vector<ShellPairTask> make_tasks() const;
@@ -62,6 +69,10 @@ class FockBuilder {
   /// depths. Cheap enough to run as an inspector pass.
   double estimate_task_cost(const ShellPairTask& task) const;
 
+  /// The raw work counters behind estimate_task_cost (see
+  /// TaskCostFeatures); used to re-fit the model constants.
+  TaskCostFeatures task_cost_features(const ShellPairTask& task) const;
+
   /// Full G(P) = J - K/2 built by running every task sequentially.
   linalg::Matrix build_g(const linalg::Matrix& density) const;
 
@@ -75,6 +86,7 @@ class FockBuilder {
 
   const BasisSet* basis_;
   double screen_threshold_;
+  ShellPairList pairs_;
   linalg::Matrix schwarz_;
 };
 

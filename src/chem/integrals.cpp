@@ -51,17 +51,33 @@ HermiteE::HermiteE(int imax, int jmax, double a, double b, double ax,
   }
 }
 
-HermiteR::HermiteR(int order, double p, const Vec3& pc)
+HermiteR::HermiteR(int order)
     : order_(order),
       table_(static_cast<std::size_t>(order + 1) *
                  static_cast<std::size_t>(order + 1) *
                  static_cast<std::size_t>(order + 1),
-             0.0) {
-  const double r2 = pc[0] * pc[0] + pc[1] * pc[1] + pc[2] * pc[2];
-  std::vector<double> f(static_cast<std::size_t>(order) + 1);
-  boys(p * r2, f);
+             0.0),
+      scratch_(table_.size(), 0.0),
+      fbuf_(static_cast<std::size_t>(order) + 1, 0.0) {}
 
-  // aux[n] holds R^n_{tuv} for t+u+v <= order - n; build n downward.
+HermiteR::HermiteR(int order, double p, const Vec3& pc, bool reference_boys)
+    : HermiteR(order) {
+  recompute(p, pc, reference_boys);
+}
+
+void HermiteR::recompute(double p, const Vec3& pc, bool reference_boys) {
+  const int order = order_;
+  const double r2 = pc[0] * pc[0] + pc[1] * pc[1] + pc[2] * pc[2];
+  if (reference_boys) {
+    boys_reference(p * r2, fbuf_);
+  } else {
+    boys(p * r2, fbuf_);
+  }
+
+  // aux[n] holds R^n_{tuv} for t+u+v <= order - n; build n downward,
+  // ping-ponging between scratch_ (the level being filled) and table_
+  // (the level above it). The loop runs an odd number of swaps, so the
+  // final level n = 0 always lands in table_.
   const auto n1 = static_cast<std::size_t>(order + 1);
   auto idx = [n1](int t, int u, int v) {
     return (static_cast<std::size_t>(t) * n1 + static_cast<std::size_t>(u)) *
@@ -69,17 +85,19 @@ HermiteR::HermiteR(int order, double p, const Vec3& pc)
            static_cast<std::size_t>(v);
   };
 
-  std::vector<double> next(n1 * n1 * n1, 0.0), cur(n1 * n1 * n1, 0.0);
+  std::vector<double>& next = table_;
+  std::vector<double>& cur = scratch_;
+  std::fill(next.begin(), next.end(), 0.0);
+  // Scale in place: fbuf_[n] becomes R^n_{000} = (-2p)^n F_n.
   double minus2p_pow = 1.0;
-  std::vector<double> r000(static_cast<std::size_t>(order) + 1);
   for (int n = 0; n <= order; ++n) {
-    r000[static_cast<std::size_t>(n)] = minus2p_pow * f[static_cast<std::size_t>(n)];
+    fbuf_[static_cast<std::size_t>(n)] *= minus2p_pow;
     minus2p_pow *= -2.0 * p;
   }
 
   for (int n = order; n >= 0; --n) {
     std::fill(cur.begin(), cur.end(), 0.0);
-    cur[idx(0, 0, 0)] = r000[static_cast<std::size_t>(n)];
+    cur[idx(0, 0, 0)] = fbuf_[static_cast<std::size_t>(n)];
     const int budget = order - n;
     // Fill increasing total order so dependencies (one index lower, read
     // from `next` = level n+1) are available.
@@ -108,9 +126,10 @@ HermiteR::HermiteR(int order, double p, const Vec3& pc)
         }
       }
     }
+    // The just-filled level becomes "next" for level n-1; after the
+    // final iteration this leaves level 0 in table_.
     std::swap(cur, next);
   }
-  table_ = next;  // level n = 0
 }
 
 namespace {

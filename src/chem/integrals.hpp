@@ -40,9 +40,24 @@ class HermiteE {
 
 /// Hermite Coulomb integrals R^0_{tuv}(p, PC) for t+u+v <= order.
 /// Flat accessor: r(t, u, v).
+///
+/// The order is fixed at construction but the (p, PC) arguments can be
+/// re-evaluated in place via `recompute`, so a quartet kernel keeps ONE
+/// instance alive across its whole primitive loop instead of paying
+/// three heap allocations per primitive quartet.
 class HermiteR {
  public:
-  HermiteR(int order, double p, const Vec3& pc);
+  /// Allocates workspace for the given order without computing anything;
+  /// call `recompute` before reading.
+  explicit HermiteR(int order);
+
+  /// Convenience: allocate and evaluate in one step. `reference_boys`
+  /// selects the slow series Boys evaluation (the seed kernel's path,
+  /// kept for benchmarking old-vs-new and as a test oracle).
+  HermiteR(int order, double p, const Vec3& pc, bool reference_boys = false);
+
+  /// Re-evaluates the table for new (p, PC) at the fixed order.
+  void recompute(double p, const Vec3& pc, bool reference_boys = false);
 
   double operator()(int t, int u, int v) const {
     return table_[index(t, u, v)];
@@ -57,7 +72,9 @@ class HermiteR {
   }
 
   int order_;
-  std::vector<double> table_;
+  std::vector<double> table_;    ///< result level (n = 0)
+  std::vector<double> scratch_;  ///< second ping-pong buffer
+  std::vector<double> fbuf_;     ///< Boys values F_0..F_order
 };
 
 /// Overlap matrix S over all basis functions.

@@ -41,9 +41,10 @@ struct TaskModelOptions {
   /// the analytic estimate scaled to ~seconds.
   bool measure_costs = false;
   /// Analytic cost scale: estimated flop units are multiplied by this to
-  /// produce simulated seconds (default calibrated to the ERI kernel's
-  /// measured ~10ns per primitive-quartet-function unit).
-  double analytic_cost_scale = 1e-8;
+  /// produce simulated seconds (default calibrated to the shell-pair
+  /// cached ERI kernel's fitted ~55ns per primitive-quartet-function
+  /// unit; see bench_kernel --calibrate).
+  double analytic_cost_scale = 5.3e-8;
 };
 
 /// Builds the task model for a named molecule (see make_named_molecule).

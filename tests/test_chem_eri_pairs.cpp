@@ -1,0 +1,247 @@
+// Shell-pair-cached ERI engine tests: the cached kernel must reproduce
+// the direct (seed) kernel to near machine precision on randomized
+// quartets, the tabulated Boys function must match the series reference,
+// and the canonical-quartet full_eri_tensor must be bitwise 8-fold
+// symmetric while agreeing with the legacy all-quartets fill.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "chem/basis.hpp"
+#include "chem/boys.hpp"
+#include "chem/eri.hpp"
+#include "chem/molecule.hpp"
+#include "chem/shell_pair.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace emc::chem;
+
+Shell random_shell(emc::Rng& rng, int l) {
+  Shell s;
+  s.l = l;
+  s.center = {rng.uniform(-2.0, 2.0), rng.uniform(-2.0, 2.0),
+              rng.uniform(-2.0, 2.0)};
+  const int nprim = static_cast<int>(rng.range(1, 3));
+  for (int i = 0; i < nprim; ++i) {
+    // Log-uniform exponents across the chemically relevant range, and
+    // signed coefficients so cancellation paths are exercised.
+    const double a = std::exp(rng.uniform(std::log(0.1), std::log(60.0)));
+    const double c =
+        rng.uniform(0.2, 1.2) * (rng.uniform() < 0.5 ? -1.0 : 1.0);
+    s.exponents.push_back(a);
+    s.coefficients.push_back(c * primitive_norm(a, l, 0, 0));
+  }
+  return s;
+}
+
+double max_block_diff(const EriBlock& x, const EriBlock& y) {
+  double m = 0.0;
+  for (int a = 0; a < x.na(); ++a) {
+    for (int b = 0; b < x.nb(); ++b) {
+      for (int c = 0; c < x.nc(); ++c) {
+        for (int d = 0; d < x.nd(); ++d) {
+          m = std::max(m, std::abs(x(a, b, c, d) - y(a, b, c, d)));
+        }
+      }
+    }
+  }
+  return m;
+}
+
+TEST(ShellPairEriTest, CachedMatchesDirectOnRandomQuartets) {
+  emc::Rng rng(20260806);
+  for (int trial = 0; trial < 60; ++trial) {
+    const Shell a = random_shell(rng, static_cast<int>(rng.range(0, 2)));
+    const Shell b = random_shell(rng, static_cast<int>(rng.range(0, 2)));
+    const Shell c = random_shell(rng, static_cast<int>(rng.range(0, 2)));
+    const Shell d = random_shell(rng, static_cast<int>(rng.range(0, 2)));
+    const EriBlock direct = eri_shell_quartet_direct(a, b, c, d);
+    const EriBlock cached = eri_shell_quartet(a, b, c, d);
+    EXPECT_LT(max_block_diff(direct, cached), 1e-12) << "trial " << trial;
+  }
+}
+
+TEST(ShellPairEriTest, CachedPairsAreReusableAcrossQuartets) {
+  // The same ShellPairData object consumed as bra and as ket, repeatedly,
+  // must keep producing the direct answer (guards against any hidden
+  // mutable state in the pair tables).
+  emc::Rng rng(7);
+  const Shell a = random_shell(rng, 2);
+  const Shell b = random_shell(rng, 1);
+  const Shell c = random_shell(rng, 0);
+  const ShellPairData ab = make_shell_pair(a, b);
+  const ShellPairData cc = make_shell_pair(c, c);
+  for (int rep = 0; rep < 3; ++rep) {
+    EXPECT_LT(max_block_diff(eri_shell_quartet_direct(a, b, c, c),
+                             eri_shell_quartet(ab, cc)),
+              1e-12);
+    EXPECT_LT(max_block_diff(eri_shell_quartet_direct(c, c, a, b),
+                             eri_shell_quartet(cc, ab)),
+              1e-12);
+  }
+}
+
+TEST(ShellPairEriTest, DeepContractionWaterShells) {
+  // STO-3G oxygen 1s against itself: the deepest contraction in the
+  // suite's bases, where the pair-level exp(-mu |AB|^2) prefactors and
+  // primitive pruning matter most.
+  const BasisSet basis = BasisSet::build(make_water(), "sto-3g");
+  const auto& shells = basis.shells();
+  for (std::size_t i = 0; i < shells.size(); ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const EriBlock direct =
+          eri_shell_quartet_direct(shells[i], shells[j], shells[i],
+                                   shells[j]);
+      const EriBlock cached =
+          eri_shell_quartet(shells[i], shells[j], shells[i], shells[j]);
+      EXPECT_LT(max_block_diff(direct, cached), 1e-12)
+          << "pair " << i << "," << j;
+    }
+  }
+}
+
+TEST(BoysTableTest, MatchesSeriesReferenceOnGrid) {
+  // Tabulated Taylor interpolation vs the ascending-series reference,
+  // everywhere the table is consulted: x in [0, 40], orders up to 16.
+  std::vector<double> fast(17), ref(17);
+  double max_err = 0.0;
+  for (int i = 0; i <= 1600; ++i) {
+    const double x = 0.025 * i;
+    boys(x, fast);
+    boys_reference(x, ref);
+    for (int m = 0; m <= 16; ++m) {
+      max_err = std::max(max_err, std::abs(fast[m] - ref[m]));
+    }
+  }
+  EXPECT_LT(max_err, 1e-13);
+}
+
+TEST(BoysTableTest, OffGridPointsAndHighOrderFallback) {
+  // Irrational-ish arguments (worst case for the interpolation step) and
+  // orders beyond the table, which must fall back to the reference path.
+  std::vector<double> fast(25), ref(25);
+  for (double x : {0.0333333, 1.0499999, 7.7771, 19.95001, 34.999}) {
+    boys(x, fast);
+    boys_reference(x, ref);
+    for (int m = 0; m <= 24; ++m) {
+      EXPECT_NEAR(fast[m], ref[m], 1e-13) << "x=" << x << " m=" << m;
+    }
+  }
+}
+
+TEST(FullEriTensorTest, MatchesLegacyAllQuartetsFill) {
+  // The canonical-quartet + symmetric-fill tensor must agree with the
+  // legacy fill that evaluates every (i,j,k,l) with the direct kernel.
+  const BasisSet basis = BasisSet::build(make_water(), "sto-3g");
+  const auto& shells = basis.shells();
+  const int n = basis.function_count();
+  const auto nn = static_cast<std::size_t>(n);
+  std::vector<double> legacy(nn * nn * nn * nn, 0.0);
+  for (const Shell& si : shells) {
+    for (const Shell& sj : shells) {
+      for (const Shell& sk : shells) {
+        for (const Shell& sl : shells) {
+          const EriBlock block = eri_shell_quartet_direct(si, sj, sk, sl);
+          for (int a = 0; a < block.na(); ++a) {
+            for (int b = 0; b < block.nb(); ++b) {
+              for (int c = 0; c < block.nc(); ++c) {
+                for (int d = 0; d < block.nd(); ++d) {
+                  const auto mu =
+                      static_cast<std::size_t>(si.first_function + a);
+                  const auto nu =
+                      static_cast<std::size_t>(sj.first_function + b);
+                  const auto la =
+                      static_cast<std::size_t>(sk.first_function + c);
+                  const auto sg =
+                      static_cast<std::size_t>(sl.first_function + d);
+                  legacy[((mu * nn + nu) * nn + la) * nn + sg] =
+                      block(a, b, c, d);
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  const std::vector<double> tensor = full_eri_tensor(basis);
+  ASSERT_EQ(tensor.size(), legacy.size());
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < tensor.size(); ++i) {
+    max_diff = std::max(max_diff, std::abs(tensor[i] - legacy[i]));
+  }
+  EXPECT_LT(max_diff, 1e-12);
+}
+
+TEST(FullEriTensorTest, BitwiseEightFoldSymmetric) {
+  const BasisSet basis = BasisSet::build(make_water(), "sto-3g");
+  const std::vector<double> t = full_eri_tensor(basis);
+  const auto n = static_cast<std::size_t>(basis.function_count());
+  auto at = [&](std::size_t a, std::size_t b, std::size_t c,
+                std::size_t d) { return t[((a * n + b) * n + c) * n + d]; };
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b <= a; ++b) {
+      for (std::size_t c = 0; c <= a; ++c) {
+        for (std::size_t d = 0; d <= c; ++d) {
+          const double v = at(a, b, c, d);
+          // Bitwise equality, not approximate: the canonical fill writes
+          // the identical double to all eight orbit positions.
+          EXPECT_EQ(v, at(b, a, c, d));
+          EXPECT_EQ(v, at(a, b, d, c));
+          EXPECT_EQ(v, at(b, a, d, c));
+          EXPECT_EQ(v, at(c, d, a, b));
+          EXPECT_EQ(v, at(d, c, a, b));
+          EXPECT_EQ(v, at(c, d, b, a));
+          EXPECT_EQ(v, at(d, c, b, a));
+        }
+      }
+    }
+  }
+}
+
+TEST(SchwarzMatrixTest, PairCachePathMatchesBasisPath) {
+  const BasisSet basis = BasisSet::build(make_water_cluster(2), "6-31g");
+  const ShellPairList pairs(basis);
+  const auto via_pairs = schwarz_matrix(pairs);
+  const auto via_basis = schwarz_matrix(basis);
+  ASSERT_EQ(via_pairs.rows(), via_basis.rows());
+  for (std::size_t i = 0; i < via_pairs.rows(); ++i) {
+    for (std::size_t j = 0; j < via_pairs.cols(); ++j) {
+      EXPECT_NEAR(via_pairs(i, j), via_basis(i, j), 1e-12)
+          << "shells " << i << "," << j;
+    }
+  }
+}
+
+TEST(SchwarzMatrixTest, StillBoundsQuartetsWithCachedKernel) {
+  // Q(ij) Q(kl) must bound |(ij|kl)| for the values the cached kernel
+  // actually produces (the Cauchy-Schwarz guarantee the screening relies
+  // on must survive the kernel swap).
+  const BasisSet basis = BasisSet::build(make_water(), "sto-3g");
+  const ShellPairList pairs(basis);
+  const auto q = schwarz_matrix(pairs);
+  const int n = static_cast<int>(basis.shell_count());
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      for (int k = 0; k < n; ++k) {
+        for (int l = 0; l <= k; ++l) {
+          const EriBlock block =
+              eri_shell_quartet(pairs.pair(i, j), pairs.pair(k, l));
+          const double bound = q(static_cast<std::size_t>(i),
+                                 static_cast<std::size_t>(j)) *
+                               q(static_cast<std::size_t>(k),
+                                 static_cast<std::size_t>(l));
+          EXPECT_LE(block.max_abs(), bound + 1e-14)
+              << i << j << k << l;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
