@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "chem/basis.hpp"
 #include "chem/boys.hpp"
 #include "chem/eri.hpp"
@@ -333,23 +334,38 @@ int run_smoke(const std::string& json_path, double min_speedup,
     std::cerr << "FAIL: cannot write " << json_path << "\n";
     return 1;
   }
-  out << "{\n  \"bench\": \"bench_kernel\",\n  \"mode\": \"smoke\",\n"
-      << "  \"seed\": " << seed << ",\n  \"quartet_classes\": [\n";
-  for (std::size_t i = 0; i < classes.size(); ++i) {
-    const ClassResult& c = classes[i];
-    out << "    {\"class\": \"" << c.name << "\", \"direct_ns\": "
-        << c.direct_ns << ", \"cached_ns\": " << c.cached_ns
-        << ", \"speedup\": " << c.speedup() << ", \"max_diff\": "
-        << c.max_diff << "}" << (i + 1 < classes.size() ? "," : "") << "\n";
+  {
+    emc::bench::JsonWriter json(out);
+    json.begin_object();
+    json.field("bench", "bench_kernel");
+    json.field("mode", "smoke");
+    json.field("seed", seed);
+    json.begin_array("quartet_classes");
+    for (const ClassResult& c : classes) {
+      json.begin_object();
+      json.field("class", c.name);
+      json.field("direct_ns", c.direct_ns);
+      json.field("cached_ns", c.cached_ns);
+      json.field("speedup", c.speedup());
+      json.field("max_diff", c.max_diff);
+      json.end_object();
+    }
+    json.end_array();
+    json.begin_object("fock_sweep");
+    json.field("workload", "water2/6-31g");
+    json.field("quartets", sweep.quartets);
+    json.field("direct_ms", sweep.direct_ms);
+    json.field("cached_ms", sweep.cached_ms);
+    json.field("speedup", sweep.speedup());
+    json.end_object();
+    json.begin_object("checks");
+    json.field("max_abs_diff", max_diff);
+    json.field("min_speedup_gate", min_speedup);
+    json.field("accuracy_ok", accuracy_ok);
+    json.field("passed", passed);
+    json.end_object();
+    json.end_object();
   }
-  out << "  ],\n  \"fock_sweep\": {\"workload\": \"water2/6-31g\", "
-      << "\"quartets\": " << sweep.quartets << ", \"direct_ms\": "
-      << sweep.direct_ms << ", \"cached_ms\": " << sweep.cached_ms
-      << ", \"speedup\": " << sweep.speedup() << "},\n"
-      << "  \"checks\": {\"max_abs_diff\": " << max_diff
-      << ", \"min_speedup_gate\": " << min_speedup << ", \"accuracy_ok\": "
-      << (accuracy_ok ? "true" : "false") << ", \"passed\": "
-      << (passed ? "true" : "false") << "}\n}\n";
   out.close();
   std::cout << "wrote " << json_path << "\n";
 

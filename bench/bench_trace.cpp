@@ -1,0 +1,509 @@
+// Observability driver: records a typed event trace of a simulated
+// execution-model run, exports it as Chrome trace-event JSON (openable
+// in Perfetto / chrome://tracing), runs the trace analyses (utilization
+// timeline, idle-gap/critical-path anatomy, steal provenance), and runs
+// a real PGAS Fock build with the metrics registry attached so the
+// report carries per-rank get/put/acc op+byte totals, nxtval counts, and
+// barrier waits. Everything lands in one JSON report.
+//
+// The exported Chrome trace is always re-read and validated with a small
+// JSON parser: the file must parse and every event must carry the
+// ph/ts/dur/pid/tid fields the trace viewers require. The process exits
+// nonzero if validation fails, which is what the bench_trace_smoke ctest
+// gate checks.
+//
+// Flags:
+//   --smoke            tiny workload (water, P=8, 2 ranks) for CI
+//   --model=NAME       static | counter | hier | hybrid | ws (default ws)
+//   --procs=P          simulated processors (default 64)
+//   --molecule=NAME    workload molecule (default water27)
+//   --measured         measure task costs instead of the analytic model
+//   --iterations=N     retentive rounds; >1 merges round traces (default 1)
+//   --chunk=N          counter chunk (default 4)
+//   --ranks=N          PGAS ranks for the real Fock build (default 4)
+//   --trace=PATH       Chrome trace output (default BENCH_trace.chrome.json)
+//   --report=PATH      JSON report output (default BENCH_trace.json)
+
+#include <cctype>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/distributed_fock.hpp"
+#include "core/task_model.hpp"
+#include "lb/simple.hpp"
+#include "linalg/matrix.hpp"
+#include "pgas/runtime.hpp"
+#include "sim/simulators.hpp"
+#include "sim/trace.hpp"
+#include "util/metrics.hpp"
+
+namespace {
+
+using namespace emc;
+using namespace emc::sim;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser, just enough to validate the exported Chrome trace.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool has(const std::string& key) const {
+    return kind == Kind::kObject && object.count(key) > 0;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  /// Parses the whole document; throws std::runtime_error on any error.
+  JsonValue parse() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("JSON parse error at byte " +
+                             std::to_string(pos_) + ": " + what);
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::string(lit).size();
+    if (text_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kString;
+      v.str = parse_string();
+      return v;
+    }
+    JsonValue v;
+    if (consume_literal("true")) {
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume_literal("false")) {
+      v.kind = JsonValue::Kind::kBool;
+      return v;
+    }
+    if (consume_literal("null")) return v;
+    return parse_number();
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string s;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("bad escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'u':
+            // Validation only needs structural fidelity, not code points.
+            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+            pos_ += 4;
+            c = '?';
+            break;
+          default: c = e; break;
+        }
+      }
+      s += c;
+    }
+    if (pos_ >= text_.size()) fail("unterminated string");
+    ++pos_;  // closing quote
+    return s;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    try {
+      v.number = std::stod(text_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+    return v;
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return v;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      const std::string key = parse_string();
+      expect(':');
+      v.object[key] = parse_value();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return v;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+/// Re-reads an exported Chrome trace and checks the structure every
+/// viewer relies on: top-level object with a traceEvents array whose
+/// entries each carry ph/ts/dur/pid/tid (and a name). Returns the event
+/// count; -1 on failure (details on stderr).
+std::int64_t validate_chrome_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "FAIL: cannot read " << path << "\n";
+    return -1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  JsonValue doc;
+  try {
+    doc = JsonParser(text).parse();
+  } catch (const std::exception& e) {
+    std::cerr << "FAIL: " << path << " is not valid JSON: " << e.what()
+              << "\n";
+    return -1;
+  }
+  if (!doc.has("traceEvents") ||
+      doc.object["traceEvents"].kind != JsonValue::Kind::kArray) {
+    std::cerr << "FAIL: " << path << " has no traceEvents array\n";
+    return -1;
+  }
+  const auto& events = doc.object["traceEvents"].array;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const JsonValue& ev = events[i];
+    for (const char* key : {"name", "ph", "ts", "dur", "pid", "tid"}) {
+      if (!ev.has(key)) {
+        std::cerr << "FAIL: traceEvents[" << i << "] lacks \"" << key
+                  << "\"\n";
+        return -1;
+      }
+    }
+  }
+  return static_cast<std::int64_t>(events.size());
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+struct Options {
+  std::string model = "ws";
+  std::string molecule = "water27";
+  int procs = 64;
+  int ranks = 4;
+  int iterations = 1;
+  std::int64_t chunk = 4;
+  bool measured = false;
+  std::string trace_path = "BENCH_trace.chrome.json";
+  std::string report_path = "BENCH_trace.json";
+};
+
+struct SimRun {
+  SimResult result;                ///< last (or only) round
+  std::vector<TraceEvent> trace;   ///< merged across rounds
+  double total_makespan = 0.0;     ///< summed across rounds
+};
+
+SimRun run_simulation(const Options& opt,
+                      std::span<const double> costs) {
+  MachineConfig config;
+  config.n_procs = opt.procs;
+  config.procs_per_node = std::min(16, opt.procs);
+  config.record_trace = true;
+  const auto block = lb::block_assignment(costs.size(), opt.procs);
+
+  SimRun run;
+  if (opt.model == "static") {
+    run.result = simulate_static(config, costs, block);
+  } else if (opt.model == "counter") {
+    run.result = simulate_counter(config, costs, opt.chunk);
+  } else if (opt.model == "hier") {
+    run.result = simulate_hierarchical_counter(config, costs,
+                                               opt.chunk * 8, opt.chunk);
+  } else if (opt.model == "hybrid") {
+    run.result = simulate_hybrid(config, costs, block, 0.3, opt.chunk);
+  } else if (opt.model == "ws") {
+    if (opt.iterations > 1) {
+      const auto rounds =
+          simulate_retentive(config, costs, block, opt.iterations);
+      run.trace = merge_round_traces(rounds);
+      for (const SimResult& r : rounds) run.total_makespan += r.makespan;
+      run.result = rounds.back();
+      return run;
+    }
+    run.result = simulate_work_stealing(config, costs, block);
+  } else {
+    throw std::invalid_argument("unknown --model '" + opt.model + "'");
+  }
+  run.trace = run.result.trace;
+  run.total_makespan = run.result.makespan;
+  return run;
+}
+
+/// Real (threaded) PGAS Fock builds with the registry attached: two
+/// "SCF iterations" against a model density, exercising get/put/acc,
+/// nxtval, and barrier instrumentation.
+void run_pgas_fock(const Options& opt, util::MetricsRegistry& registry) {
+  const std::string molecule = opt.molecule == "water27" ? "water2"
+                                                         : opt.molecule;
+  core::TaskModelOptions model_opts;
+  const core::TaskModel model = core::build_task_model(molecule, model_opts);
+
+  pgas::CommCostModel cost;
+  cost.remote_ns = 500;
+  cost.counter_ns = 300;
+  pgas::Runtime runtime(opt.ranks, cost);
+
+  core::DistributedFockOptions fock_opts;
+  fock_opts.model = core::ExecModel::kCounter;  // exercises nxtval
+  fock_opts.counter_chunk = 2;
+  fock_opts.metrics = &registry;
+  core::DistributedFockBuilder builder(model.basis, runtime, fock_opts);
+
+  const auto n = static_cast<std::size_t>(model.basis.function_count());
+  linalg::Matrix density(n, n);
+  for (std::size_t i = 0; i < n; ++i) density(i, i) = 1.0;
+  builder.build_g(density);
+  builder.build_g(density);  // second SCF iteration, totals accumulate
+  // Quiesce collectively so the per-rank barrier instruments fire too.
+  runtime.run([](pgas::Context& ctx) { ctx.barrier(); });
+  std::cout << "pgas Fock build: " << molecule << ", " << opt.ranks
+            << " ranks, " << builder.builds() << " builds, "
+            << model.task_count() << " tasks/build\n";
+}
+
+int run(const Options& opt) {
+  core::TaskModelOptions model_opts;
+  model_opts.measure_costs = opt.measured;
+  const core::TaskModel model =
+      core::build_task_model(opt.molecule, model_opts);
+  emc::bench::print_header(
+      "bench_trace", "typed event traces + runtime metrics", model);
+
+  // --- Simulated run with trace recording -------------------------------
+  const SimRun run = run_simulation(opt, model.costs);
+  const std::vector<TraceEvent>& trace = run.trace;
+  const TraceSummary summary =
+      summarize_trace(trace, opt.procs, run.total_makespan);
+  const std::vector<double> timeline =
+      utilization_timeline(trace, run.total_makespan, opt.procs, 32);
+  const std::vector<std::int64_t> provenance =
+      steal_provenance(trace, opt.procs);
+
+  std::cout << "model " << opt.model << ", P=" << opt.procs << ": makespan "
+            << run.total_makespan << " s, " << summary.events
+            << " events, utilization " << run.result.utilization() << "\n"
+            << "critical proc " << summary.critical_proc << ": busy "
+            << summary.critical_busy << " s, overhead "
+            << summary.critical_overhead << " s, idle "
+            << summary.critical_idle << " s\n"
+            << "longest idle gap " << summary.longest_idle_gap << " s on proc "
+            << summary.longest_idle_proc << "\n";
+
+  {
+    std::ofstream out(opt.trace_path);
+    if (!out) {
+      std::cerr << "FAIL: cannot write " << opt.trace_path << "\n";
+      return 1;
+    }
+    write_chrome_trace(out, trace, std::min(16, opt.procs));
+  }
+  const std::int64_t chrome_events = validate_chrome_trace(opt.trace_path);
+  if (chrome_events < 0) return 1;
+  std::cout << "wrote " << opt.trace_path << " (" << chrome_events
+            << " events, validated)\n";
+
+  // --- Real PGAS Fock build with metrics --------------------------------
+  util::MetricsRegistry registry;
+  run_pgas_fock(opt, registry);
+
+  // --- Report -----------------------------------------------------------
+  std::ofstream out(opt.report_path);
+  if (!out) {
+    std::cerr << "FAIL: cannot write " << opt.report_path << "\n";
+    return 1;
+  }
+  emc::bench::JsonWriter json(out);
+  json.begin_object();
+  json.field("bench", "bench_trace");
+  json.field("molecule", opt.molecule);
+  json.field("tasks", static_cast<std::int64_t>(model.task_count()));
+  json.begin_object("sim");
+  json.field("model", opt.model);
+  json.field("procs", opt.procs);
+  json.field("iterations", opt.iterations);
+  json.field("makespan_s", run.total_makespan);
+  json.field("utilization", run.result.utilization());
+  json.field("steals", run.result.steals);
+  json.field("steal_attempts", run.result.steal_attempts);
+  json.field("counter_ops", run.result.counter_ops);
+  json.begin_object("summary");
+  json.field("events", summary.events);
+  json.field("critical_proc", summary.critical_proc);
+  json.field("critical_busy_s", summary.critical_busy);
+  json.field("critical_overhead_s", summary.critical_overhead);
+  json.field("critical_idle_s", summary.critical_idle);
+  json.field("longest_idle_gap_s", summary.longest_idle_gap);
+  json.field("longest_idle_proc", summary.longest_idle_proc);
+  json.field("total_busy_s", summary.total_busy);
+  json.field("total_overhead_s", summary.total_overhead);
+  json.field("total_idle_s", summary.total_idle);
+  json.end_object();
+  json.begin_array("utilization_timeline");
+  for (double u : timeline) json.value(u);
+  json.end_array();
+  json.begin_array("steal_provenance");  // nonzero (thief, victim) cells
+  for (int thief = 0; thief < opt.procs; ++thief) {
+    for (int victim = 0; victim < opt.procs; ++victim) {
+      const std::int64_t count =
+          provenance[static_cast<std::size_t>(thief) *
+                         static_cast<std::size_t>(opt.procs) +
+                     static_cast<std::size_t>(victim)];
+      if (count == 0) continue;
+      json.begin_object();
+      json.field("thief", thief);
+      json.field("victim", victim);
+      json.field("count", count);
+      json.end_object();
+    }
+  }
+  json.end_array();
+  json.end_object();
+  json.begin_object("chrome_trace");
+  json.field("path", opt.trace_path);
+  json.field("events", chrome_events);
+  json.field("validated", true);
+  json.end_object();
+  {
+    std::ostringstream metrics_json;
+    registry.write_json(metrics_json);
+    json.raw("metrics", metrics_json.str());
+  }
+  json.end_object();
+  out.close();
+  std::cout << "wrote " << opt.report_path << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      opt.molecule = "water";
+      opt.procs = 8;
+      opt.ranks = 2;
+    } else if (arg == "--measured") {
+      opt.measured = true;
+    } else if (arg.rfind("--model=", 0) == 0) {
+      opt.model = arg.substr(8);
+    } else if (arg.rfind("--molecule=", 0) == 0) {
+      opt.molecule = arg.substr(11);
+    } else if (arg.rfind("--procs=", 0) == 0) {
+      opt.procs = std::stoi(arg.substr(8));
+    } else if (arg.rfind("--ranks=", 0) == 0) {
+      opt.ranks = std::stoi(arg.substr(8));
+    } else if (arg.rfind("--iterations=", 0) == 0) {
+      opt.iterations = std::stoi(arg.substr(13));
+    } else if (arg.rfind("--chunk=", 0) == 0) {
+      opt.chunk = std::stoll(arg.substr(8));
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      opt.trace_path = arg.substr(8);
+    } else if (arg.rfind("--report=", 0) == 0) {
+      opt.report_path = arg.substr(9);
+    } else {
+      std::cerr << "unknown flag " << arg << "\n";
+      return 2;
+    }
+  }
+  try {
+    return run(opt);
+  } catch (const std::exception& e) {
+    std::cerr << "FAIL: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -63,6 +63,16 @@ int main() {
                 << std::string(40 - bar, ' ') << "| "
                 << static_cast<int>(timeline[b] * 100.0) << "%\n";
     }
+    // Critical-path anatomy of the same trace: where the proc that ends
+    // the run spends its time, and the single worst idle stretch.
+    const sim::TraceSummary anatomy = sim::summarize_trace(
+        curve.result.trace, traced.n_procs, curve.result.makespan);
+    std::cout << "    critical proc " << anatomy.critical_proc << ": busy "
+              << anatomy.critical_busy * 1e3 << " ms, overhead "
+              << anatomy.critical_overhead * 1e3 << " ms, idle "
+              << anatomy.critical_idle * 1e3 << " ms; longest idle gap "
+              << anatomy.longest_idle_gap * 1e3 << " ms on proc "
+              << anatomy.longest_idle_proc << "\n";
   }
   return 0;
 }

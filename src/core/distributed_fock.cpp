@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "lb/simple.hpp"
+#include "util/timer.hpp"
 
 namespace emc::core {
 
@@ -10,7 +11,48 @@ DistributedFockBuilder::DistributedFockBuilder(
     const chem::BasisSet& basis, pgas::Runtime& runtime,
     DistributedFockOptions options)
     : basis_(&basis), runtime_(&runtime), options_(std::move(options)),
-      fock_(basis, options_.screen_threshold), tasks_(fock_.make_tasks()) {}
+      fock_(basis, options_.screen_threshold), tasks_(fock_.make_tasks()) {
+  if (options_.metrics != nullptr) attach_metrics();
+}
+
+void DistributedFockBuilder::attach_metrics() {
+  util::MetricsRegistry& reg = *options_.metrics;
+  runtime_->set_metrics(&reg);
+  metrics_.builds = &reg.counter("fock/builds");
+  metrics_.tasks = &reg.counter("fock/tasks");
+  metrics_.kets_scanned = &reg.counter("fock/ket_pairs_scanned");
+  metrics_.kets_survived = &reg.counter("fock/ket_pairs_survived");
+  metrics_.skip_rate = &reg.gauge("fock/screening_skip_rate");
+  metrics_.phase_get = &reg.gauge("fock/phase_get_seconds");
+  metrics_.phase_execute = &reg.gauge("fock/phase_execute_seconds");
+  metrics_.phase_accumulate = &reg.gauge("fock/phase_accumulate_seconds");
+
+  // Screening is Schwarz-only (density-independent), so the per-iteration
+  // skip rate is a property of the basis: tally it once here.
+  scan_total_ = 0.0;
+  survived_total_ = 0.0;
+  for (const auto& task : tasks_) {
+    const chem::TaskCostFeatures f = fock_.task_cost_features(task);
+    scan_total_ += f.scan;
+    survived_total_ += f.quartets;
+  }
+  metrics_.skip_rate->set(
+      scan_total_ > 0.0 ? 1.0 - survived_total_ / scan_total_ : 0.0);
+
+  // Shell-pair cache inventory: entries and primitive pairs held.
+  const chem::ShellPairList& pairs = fock_.shell_pairs();
+  std::int64_t prim_pairs = 0;
+  const int n_shells = static_cast<int>(basis_->shell_count());
+  for (int i = 0; i < n_shells; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      prim_pairs += static_cast<std::int64_t>(pairs.pair(i, j).prims.size());
+    }
+  }
+  reg.gauge("fock/shell_pair_cache_entries")
+      .set(static_cast<double>(pairs.size()));
+  reg.gauge("fock/shell_pair_cache_prim_pairs")
+      .set(static_cast<double>(prim_pairs));
+}
 
 lb::Assignment DistributedFockBuilder::initial_assignment() const {
   const int ranks = runtime_->size();
@@ -43,11 +85,16 @@ linalg::Matrix DistributedFockBuilder::build_g(
 
   // Publish the density; ranks will fetch it one-sided.
   pgas::GlobalArray density_ga(n, n, ranks);
+  pgas::GlobalArray j_ga(n, n, ranks);
+  pgas::GlobalArray k_ga(n, n, ranks);
+  if (options_.metrics != nullptr) {
+    density_ga.set_metrics(options_.metrics);
+    j_ga.set_metrics(options_.metrics);
+    k_ga.set_metrics(options_.metrics);
+  }
   density_ga.put(0, 0, 0, n, n,
                  std::span<const double>(density.data(), n * n),
                  pgas::CommCostModel{});
-  pgas::GlobalArray j_ga(n, n, ranks);
-  pgas::GlobalArray k_ga(n, n, ranks);
 
   const lb::Assignment assignment = initial_assignment();
   const auto n_tasks = static_cast<std::int64_t>(tasks_.size());
@@ -71,13 +118,16 @@ linalg::Matrix DistributedFockBuilder::build_g(
   // schedulers own the region), so fetch + accumulate are their own SPMD
   // phases around the scheduled execution. This mirrors GA codes:
   // GA_Get(P) ... do work ... GA_Acc(F) with barriers between phases.
+  emc::Timer phase;
   runtime_->run([&](pgas::Context& ctx) {
     const auto ru = static_cast<std::size_t>(ctx.rank());
     density_ga.get(ctx.rank(), 0, 0, n, n,
                    std::span<double>(local_density[ru].data(), n * n),
                    ctx.cost_model());
   });
+  if (metrics_.phase_get != nullptr) metrics_.phase_get->add(phase.seconds());
 
+  phase.reset();
   switch (options_.model) {
     case ExecModel::kStatic:
       last_stats_ = exec::run_static(*runtime_, n_tasks, assignment, body);
@@ -91,7 +141,11 @@ linalg::Matrix DistributedFockBuilder::build_g(
                                             body, options_.steal);
       break;
   }
+  if (metrics_.phase_execute != nullptr) {
+    metrics_.phase_execute->add(phase.seconds());
+  }
 
+  phase.reset();
   runtime_->run([&](pgas::Context& ctx) {
     const auto ru = static_cast<std::size_t>(ctx.rank());
     j_ga.accumulate(ctx.rank(), 0, 0, n, n,
@@ -101,6 +155,9 @@ linalg::Matrix DistributedFockBuilder::build_g(
                     std::span<const double>(local_k[ru].data(), n * n),
                     ctx.cost_model());
   });
+  if (metrics_.phase_accumulate != nullptr) {
+    metrics_.phase_accumulate->add(phase.seconds());
+  }
 
   linalg::Matrix j_total(n, n), k_total(n, n);
   for (std::size_t r = 0; r < n; ++r) {
@@ -110,6 +167,12 @@ linalg::Matrix DistributedFockBuilder::build_g(
     }
   }
   ++builds_;
+  if (metrics_.builds != nullptr) {
+    metrics_.builds->add(1);
+    metrics_.tasks->add(n_tasks);
+    metrics_.kets_scanned->add(static_cast<std::int64_t>(scan_total_));
+    metrics_.kets_survived->add(static_cast<std::int64_t>(survived_total_));
+  }
   return chem::FockBuilder::combine_jk(j_total, k_total);
 }
 

@@ -35,6 +35,14 @@ struct DistributedFockOptions {
   std::int64_t counter_chunk = 4;
   exec::WorkStealingOptions steal;
   double screen_threshold = 1e-10;
+  /// Optional observability hook. When set, the builder attaches it to
+  /// the runtime (per-rank barrier/PGAS counters), the per-build
+  /// GlobalArrays (get/put/acc ops + bytes), and records its own
+  /// "fock/..." series: per-phase wall time (get / execute /
+  /// accumulate), build count, Schwarz screening skip rate, and
+  /// shell-pair-cache stats. Must outlive the builder. nullptr = fully
+  /// disabled, no overhead on the build path.
+  util::MetricsRegistry* metrics = nullptr;
 };
 
 /// SPMD Fock builder over a PGAS runtime. Not thread-safe to share one
@@ -61,6 +69,20 @@ class DistributedFockBuilder {
 
  private:
   lb::Assignment initial_assignment() const;
+  void attach_metrics();
+
+  /// Pre-resolved "fock/..." instruments (see DistributedFockOptions::
+  /// metrics). Null pointers when no registry is attached.
+  struct FockMetrics {
+    util::Counter* builds = nullptr;
+    util::Counter* tasks = nullptr;
+    util::Counter* kets_scanned = nullptr;
+    util::Counter* kets_survived = nullptr;
+    util::Gauge* skip_rate = nullptr;
+    util::Gauge* phase_get = nullptr;
+    util::Gauge* phase_execute = nullptr;
+    util::Gauge* phase_accumulate = nullptr;
+  };
 
   const chem::BasisSet* basis_;
   pgas::Runtime* runtime_;
@@ -69,6 +91,11 @@ class DistributedFockBuilder {
   std::vector<chem::ShellPairTask> tasks_;
   exec::ExecutionStats last_stats_;
   int builds_ = 0;
+  FockMetrics metrics_;
+  // Screening totals over all tasks (density-independent, so computed
+  // once at attach time): ket pairs scanned vs surviving Schwarz.
+  double scan_total_ = 0.0;
+  double survived_total_ = 0.0;
 };
 
 }  // namespace emc::core

@@ -74,6 +74,9 @@ ExecutionStats run_counter(pgas::Runtime& runtime, std::int64_t n_tasks,
   ExecutionStats stats;
   stats.ranks.resize(static_cast<std::size_t>(runtime.size()));
   pgas::GlobalCounter counter(0);
+  if (runtime.metrics() != nullptr) {
+    counter.attach_metrics(*runtime.metrics(), runtime.size());
+  }
   std::atomic<bool> aborted{false};
   emc::Timer wall;
 
@@ -81,7 +84,8 @@ ExecutionStats run_counter(pgas::Runtime& runtime, std::int64_t n_tasks,
     RankStats& mine = stats.ranks[static_cast<std::size_t>(ctx.rank())];
     emc::Timer busy;
     while (!aborted.load(std::memory_order_relaxed)) {
-      const std::int64_t first = counter.fetch_add(chunk, ctx.cost_model());
+      const std::int64_t first =
+          counter.fetch_add(chunk, ctx.cost_model(), ctx.rank());
       ++mine.counter_ops;
       if (first >= n_tasks) break;
       const std::int64_t last = std::min(first + chunk, n_tasks);

@@ -2,8 +2,42 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace emc::pgas {
+
+namespace {
+
+void resolve_op_counters(util::MetricsRegistry& registry, int n_ranks,
+                         const char* op, std::vector<util::Counter*>& ops,
+                         std::vector<util::Counter*>& bytes) {
+  ops.clear();
+  bytes.clear();
+  for (int r = 0; r < n_ranks; ++r) {
+    const std::string prefix = "pgas/r" + std::to_string(r) + "/";
+    ops.push_back(&registry.counter(prefix + op + "_ops"));
+    bytes.push_back(&registry.counter(prefix + op + "_bytes"));
+  }
+}
+
+}  // namespace
+
+void GlobalArray::set_metrics(util::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metrics_attached_ = false;
+    get_metrics_ = {};
+    put_metrics_ = {};
+    acc_metrics_ = {};
+    return;
+  }
+  resolve_op_counters(*registry, n_ranks_, "get", get_metrics_.ops,
+                      get_metrics_.bytes);
+  resolve_op_counters(*registry, n_ranks_, "put", put_metrics_.ops,
+                      put_metrics_.bytes);
+  resolve_op_counters(*registry, n_ranks_, "acc", acc_metrics_.ops,
+                      acc_metrics_.bytes);
+  metrics_attached_ = true;
+}
 
 GlobalArray::GlobalArray(std::size_t rows, std::size_t cols, int n_ranks)
     : rows_(rows), cols_(cols), n_ranks_(n_ranks), data_(rows * cols, 0.0),
@@ -54,6 +88,7 @@ void GlobalArray::get(int caller, std::size_t r0, std::size_t c0,
                       const CommCostModel& cost) const {
   check_patch(r0, c0, h, w);
   if (out.size() < h * w) throw std::invalid_argument("get: buffer too small");
+  if (metrics_attached_) get_metrics_.record(caller, h * w * sizeof(double));
   for_each_stripe(r0, h, [&](int rank, std::size_t first, std::size_t last) {
     inject_delay(cost.transfer_cost(rank != caller,
                                     (last - first) * w * sizeof(double)));
@@ -69,6 +104,7 @@ void GlobalArray::put(int caller, std::size_t r0, std::size_t c0,
                       std::span<const double> in, const CommCostModel& cost) {
   check_patch(r0, c0, h, w);
   if (in.size() < h * w) throw std::invalid_argument("put: buffer too small");
+  if (metrics_attached_) put_metrics_.record(caller, h * w * sizeof(double));
   for_each_stripe(r0, h, [&](int rank, std::size_t first, std::size_t last) {
     inject_delay(cost.transfer_cost(rank != caller,
                                     (last - first) * w * sizeof(double)));
@@ -89,6 +125,7 @@ void GlobalArray::accumulate(int caller, std::size_t r0, std::size_t c0,
   if (in.size() < h * w) {
     throw std::invalid_argument("accumulate: buffer too small");
   }
+  if (metrics_attached_) acc_metrics_.record(caller, h * w * sizeof(double));
   for_each_stripe(r0, h, [&](int rank, std::size_t first, std::size_t last) {
     inject_delay(cost.transfer_cost(rank != caller,
                                     (last - first) * w * sizeof(double)));

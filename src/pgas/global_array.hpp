@@ -50,6 +50,14 @@ class GlobalArray {
   /// initialization before an SPMD region).
   void fill(double value);
 
+  /// Attaches a metrics registry: get/put/accumulate record per-caller
+  /// operation counts and bytes moved ("pgas/r<k>/get_ops",
+  /// "pgas/r<k>/get_bytes", likewise put/acc). The names carry no array
+  /// identity, so several arrays sharing a registry accumulate into the
+  /// same per-rank totals. Counters are resolved once here; nullptr
+  /// detaches. The registry must outlive the array.
+  void set_metrics(util::MetricsRegistry* registry);
+
   /// Direct read access for verification after all ranks quiesce.
   double at(std::size_t r, std::size_t c) const {
     return data_[r * cols_ + c];
@@ -63,10 +71,24 @@ class GlobalArray {
   template <typename Fn>
   void for_each_stripe(std::size_t r0, std::size_t h, Fn&& fn) const;
 
+  /// Pre-resolved per-rank counters for one op kind (ops + bytes).
+  struct OpMetrics {
+    std::vector<util::Counter*> ops;
+    std::vector<util::Counter*> bytes;
+    void record(int caller, std::size_t n_bytes) const {
+      if (caller < 0 || caller >= static_cast<int>(ops.size())) return;
+      const auto k = static_cast<std::size_t>(caller);
+      ops[k]->add(1);
+      bytes[k]->add(static_cast<std::int64_t>(n_bytes));
+    }
+  };
+
   std::size_t rows_, cols_;
   int n_ranks_;
   std::vector<double> data_;
   mutable std::vector<std::mutex> stripe_mutexes_;
+  bool metrics_attached_ = false;
+  OpMetrics get_metrics_, put_metrics_, acc_metrics_;
 };
 
 }  // namespace emc::pgas

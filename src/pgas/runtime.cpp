@@ -5,7 +5,11 @@
 #include <exception>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 #include <thread>
+
+#include "util/log.hpp"
+#include "util/timer.hpp"
 
 namespace emc::pgas {
 
@@ -20,7 +24,18 @@ void inject_delay(std::uint64_t nanoseconds) {
 
 int Context::size() const { return runtime_->size(); }
 
-void Context::barrier() { runtime_->barrier_.arrive_and_wait(); }
+void Context::barrier() {
+  Runtime& rt = *runtime_;
+  if (rt.metrics_ == nullptr) {
+    rt.barrier_.arrive_and_wait();
+    return;
+  }
+  auto& mine = rt.rank_metrics_[static_cast<std::size_t>(rank_)];
+  emc::Timer wait;
+  rt.barrier_.arrive_and_wait();
+  mine.wait_seconds->add(wait.seconds());
+  mine.barriers->add(1);
+}
 
 const CommCostModel& Context::cost_model() const {
   return runtime_->cost_model_;
@@ -78,6 +93,19 @@ Runtime::Runtime(int n_ranks, CommCostModel cost_model)
   if (n_ranks < 1) throw std::invalid_argument("Runtime: n_ranks < 1");
 }
 
+void Runtime::set_metrics(util::MetricsRegistry* registry) {
+  metrics_ = registry;
+  rank_metrics_.clear();
+  if (registry == nullptr) return;
+  rank_metrics_.resize(static_cast<std::size_t>(n_ranks_));
+  for (int r = 0; r < n_ranks_; ++r) {
+    const std::string prefix = "pgas/r" + std::to_string(r) + "/";
+    auto& slot = rank_metrics_[static_cast<std::size_t>(r)];
+    slot.barriers = &registry->counter(prefix + "barriers");
+    slot.wait_seconds = &registry->gauge(prefix + "barrier_wait_seconds");
+  }
+}
+
 void Runtime::run(const std::function<void(Context&)>& body) {
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(n_ranks_));
@@ -86,6 +114,7 @@ void Runtime::run(const std::function<void(Context&)>& body) {
 
   for (int r = 0; r < n_ranks_; ++r) {
     threads.emplace_back([this, r, &body, &first_error, &error_mutex] {
+      set_log_thread_tag("r" + std::to_string(r));
       Context ctx(this, r);
       try {
         body(ctx);
@@ -100,6 +129,17 @@ void Runtime::run(const std::function<void(Context&)>& body) {
   }
   for (auto& t : threads) t.join();
   if (first_error) std::rethrow_exception(first_error);
+}
+
+void GlobalCounter::attach_metrics(util::MetricsRegistry& registry,
+                                   int n_ranks) {
+  total_ops_ = &registry.counter("pgas/nxtval_ops");
+  rank_ops_.clear();
+  rank_ops_.reserve(static_cast<std::size_t>(std::max(n_ranks, 0)));
+  for (int r = 0; r < n_ranks; ++r) {
+    rank_ops_.push_back(
+        &registry.counter("pgas/r" + std::to_string(r) + "/nxtval_ops"));
+  }
 }
 
 }  // namespace emc::pgas

@@ -17,6 +17,8 @@
 #include <span>
 #include <vector>
 
+#include "util/metrics.hpp"
+
 namespace emc::pgas {
 
 /// Latency model for one-sided operations, in nanoseconds. Remote means
@@ -71,6 +73,15 @@ class Runtime {
   int size() const { return n_ranks_; }
   const CommCostModel& cost_model() const { return cost_model_; }
 
+  /// Attaches a metrics registry: barriers record per-rank wait time
+  /// ("pgas/r<k>/barrier_wait_seconds", "pgas/r<k>/barriers") and
+  /// GlobalCounter/GlobalArray users (see their set_metrics) share the
+  /// same registry via metrics(). Counters are resolved here once, so
+  /// per-operation recording is a relaxed atomic. nullptr detaches; the
+  /// registry must outlive the runtime.
+  void set_metrics(util::MetricsRegistry* registry);
+  util::MetricsRegistry* metrics() const { return metrics_; }
+
   /// Executes `body(ctx)` on every rank concurrently. Exceptions thrown
   /// by any rank are captured and the first one is rethrown here after
   /// all ranks join.
@@ -79,6 +90,11 @@ class Runtime {
  private:
   friend class Context;
 
+  struct RankBarrierMetrics {
+    util::Counter* barriers = nullptr;
+    util::Gauge* wait_seconds = nullptr;
+  };
+
   int n_ranks_;
   CommCostModel cost_model_;
   std::barrier<> barrier_;
@@ -86,6 +102,8 @@ class Runtime {
   // the barriers of a collective call.
   std::mutex collective_mutex_;
   std::vector<double> collective_buffer_;
+  util::MetricsRegistry* metrics_ = nullptr;
+  std::vector<RankBarrierMetrics> rank_metrics_;
 };
 
 /// Global atomic counter with GA-nxtval semantics: fetch_add returns the
@@ -94,8 +112,21 @@ class GlobalCounter {
  public:
   explicit GlobalCounter(std::int64_t initial = 0) : value_(initial) {}
 
-  std::int64_t fetch_add(std::int64_t delta, const CommCostModel& cost) {
+  /// Resolves "pgas/nxtval_ops" and per-rank "pgas/r<k>/nxtval_ops"
+  /// counters; rank-aware fetch_add calls record into both. The registry
+  /// must outlive the counter.
+  void attach_metrics(util::MetricsRegistry& registry, int n_ranks);
+
+  std::int64_t fetch_add(std::int64_t delta, const CommCostModel& cost,
+                         int rank = -1) {
     inject_delay(cost.counter_ns);
+    if (total_ops_ != nullptr) {
+      total_ops_->add(1);
+      if (rank >= 0 &&
+          rank < static_cast<int>(rank_ops_.size())) {
+        rank_ops_[static_cast<std::size_t>(rank)]->add(1);
+      }
+    }
     return value_.fetch_add(delta, std::memory_order_relaxed);
   }
 
@@ -107,6 +138,8 @@ class GlobalCounter {
 
  private:
   std::atomic<std::int64_t> value_;
+  util::Counter* total_ops_ = nullptr;
+  std::vector<util::Counter*> rank_ops_;
 };
 
 }  // namespace emc::pgas

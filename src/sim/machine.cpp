@@ -17,33 +17,30 @@ std::vector<double> draw_core_speeds(const MachineConfig& config) {
 
 std::vector<double> utilization_timeline(const SimResult& result,
                                          int n_procs, int bins) {
-  if (result.trace.empty()) {
-    throw std::invalid_argument(
-        "utilization_timeline: empty trace (set record_trace)");
-  }
-  if (bins < 1 || n_procs < 1) {
-    throw std::invalid_argument("utilization_timeline: bad bins/procs");
-  }
-  const double span = result.makespan;
-  const double width = span / static_cast<double>(bins);
-  std::vector<double> busy_time(static_cast<std::size_t>(bins), 0.0);
+  return utilization_timeline(std::span<const TraceEvent>(result.trace),
+                              result.makespan, n_procs, bins);
+}
 
-  for (const TaskEvent& ev : result.trace) {
-    // Distribute this execution's busy time over the bins it overlaps.
-    const int first =
-        std::clamp(static_cast<int>(ev.start / width), 0, bins - 1);
-    const int last =
-        std::clamp(static_cast<int>(ev.end / width), 0, bins - 1);
-    for (int b = first; b <= last; ++b) {
-      const double lo = std::max(ev.start, width * b);
-      const double hi = std::min(ev.end, width * (b + 1));
-      if (hi > lo) busy_time[static_cast<std::size_t>(b)] += hi - lo;
+std::vector<TraceEvent> merge_round_traces(
+    std::span<const SimResult> rounds) {
+  std::vector<TraceEvent> merged;
+  double offset = 0.0;
+  for (std::size_t round = 0; round < rounds.size(); ++round) {
+    TraceEvent boundary;
+    boundary.type = TraceEventType::kIterationBoundary;
+    boundary.proc = 0;
+    boundary.task = static_cast<std::int64_t>(round);
+    boundary.start = offset;
+    boundary.end = offset;
+    merged.push_back(boundary);
+    for (TraceEvent ev : rounds[round].trace) {
+      ev.start += offset;
+      ev.end += offset;
+      merged.push_back(ev);
     }
+    offset += rounds[round].makespan;
   }
-  for (double& x : busy_time) {
-    x /= width * static_cast<double>(n_procs);
-  }
-  return busy_time;
+  return merged;
 }
 
 double SimResult::utilization() const {

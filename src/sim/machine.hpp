@@ -10,8 +10,10 @@
 // seconds but their meaning is "simulated seconds".
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "sim/trace.hpp"
 #include "util/rng.hpp"
 
 namespace emc::sim {
@@ -32,8 +34,10 @@ struct MachineConfig {
   /// from [1 - noise_amplitude, 1]; 0 disables.
   double noise_amplitude = 0.0;
 
-  /// When true, simulators record per-task (proc, start, end) events in
-  /// SimResult::trace for timeline analysis.
+  /// When true, simulators record typed TraceEvents (task executions,
+  /// steal attempts with victim provenance, counter round trips) in
+  /// SimResult::trace for timeline/anatomy analysis and Chrome-trace
+  /// export. Off by default: recording must cost nothing when disabled.
   bool record_trace = false;
 
   std::uint64_t seed = 1;
@@ -50,13 +54,6 @@ struct MachineConfig {
 /// Per-core speed factors (execution time divides by the factor).
 std::vector<double> draw_core_speeds(const MachineConfig& config);
 
-/// One task execution in a recorded trace.
-struct TaskEvent {
-  int proc = 0;
-  double start = 0.0;
-  double end = 0.0;
-};
-
 struct SimResult {
   double makespan = 0.0;                 ///< simulated completion time
   std::vector<double> busy;              ///< per-proc task-execution time
@@ -66,7 +63,7 @@ struct SimResult {
   std::int64_t counter_ops = 0;
   double counter_wait = 0.0;             ///< total time spent on counter
   double steal_wait = 0.0;               ///< total time spent stealing
-  std::vector<TaskEvent> trace;          ///< per-task events, if recorded
+  std::vector<TraceEvent> trace;         ///< typed events, if recorded
 
   /// Mean busy fraction = sum(busy) / (P * makespan); EXP-3's metric.
   double utilization() const;
@@ -76,7 +73,15 @@ struct SimResult {
 /// returns the fraction of processors busy in each — the utilization-
 /// over-time curve of the paper's figures. Requires record_trace.
 /// Throws std::invalid_argument if the trace is empty or bins < 1.
+/// (Convenience over the span-based overload in sim/trace.hpp.)
 std::vector<double> utilization_timeline(const SimResult& result,
                                          int n_procs, int bins);
+
+/// Concatenates the traces of a multi-round run (simulate_retentive /
+/// simulate_persistence) into one timeline: round r's events are offset
+/// by the cumulative makespan of rounds [0, r), with a kIterationBoundary
+/// event (task = round index, proc = 0) marking each round's start.
+std::vector<TraceEvent> merge_round_traces(
+    std::span<const SimResult> rounds);
 
 }  // namespace emc::sim

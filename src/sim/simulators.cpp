@@ -13,6 +13,20 @@ namespace emc::sim {
 
 namespace {
 
+/// Appends one typed event. Call sites guard on config.record_trace so
+/// tracing is zero-cost when disabled.
+void record(SimResult& result, TraceEventType type, int proc, double start,
+            double end, std::int64_t task = -1, int peer = -1) {
+  TraceEvent ev;
+  ev.type = type;
+  ev.proc = proc;
+  ev.peer = peer;
+  ev.task = task;
+  ev.start = start;
+  ev.end = end;
+  result.trace.push_back(ev);
+}
+
 void check_inputs(const MachineConfig& config, std::span<const double> costs) {
   if (config.n_procs < 1) {
     throw std::invalid_argument("simulate: n_procs < 1");
@@ -50,8 +64,8 @@ SimResult simulate_static(const MachineConfig& config,
     result.busy[p] += exec;
     ++result.tasks_executed[p];
     if (config.record_trace) {
-      result.trace.push_back(
-          TaskEvent{static_cast<int>(p), start, finish[p]});
+      record(result, TraceEventType::kTaskExec, static_cast<int>(p), start,
+             finish[p], static_cast<std::int64_t>(t));
     }
   }
   result.makespan = *std::max_element(finish.begin(), finish.end());
@@ -135,6 +149,10 @@ SimResult simulate_counter(const MachineConfig& config,
     result.counter_wait += response - issue;
 
     const std::int64_t first = next_task;
+    if (config.record_trace) {
+      record(result, TraceEventType::kCounterOp, p, issue, response,
+             first < n_tasks ? first : -1, 0);
+    }
     if (first >= n_tasks) {
       // Proc learns the work is exhausted and retires.
       makespan = std::max(makespan, response);
@@ -152,7 +170,7 @@ SimResult simulate_counter(const MachineConfig& config,
       result.busy[pu] += exec;
       ++result.tasks_executed[pu];
       if (config.record_trace) {
-        result.trace.push_back(TaskEvent{p, task_start, t});
+        record(result, TraceEventType::kTaskExec, p, task_start, t, i);
       }
     }
     makespan = std::max(makespan, t);
@@ -229,7 +247,13 @@ SimResult simulate_hierarchical_counter(const MachineConfig& config,
     result.counter_wait +=
         response - (arrival - config.link_latency(p, leader));
 
-    if (node_next[nu] >= node_end[nu]) {
+    const bool dry = node_next[nu] >= node_end[nu];
+    if (config.record_trace) {
+      record(result, TraceEventType::kCounterOp, p,
+             arrival - config.link_latency(p, leader), response,
+             dry ? -1 : node_next[nu], leader);
+    }
+    if (dry) {
       // Node dry and global dry: retire.
       makespan = std::max(makespan, response);
       continue;
@@ -248,7 +272,7 @@ SimResult simulate_hierarchical_counter(const MachineConfig& config,
       result.busy[pu] += exec;
       ++result.tasks_executed[pu];
       if (config.record_trace) {
-        result.trace.push_back(TaskEvent{p, task_start, done});
+        record(result, TraceEventType::kTaskExec, p, task_start, done, i);
       }
     }
     makespan = std::max(makespan, done);
@@ -300,8 +324,8 @@ SimResult simulate_hybrid(const MachineConfig& config,
     result.busy[pu] += exec;
     ++result.tasks_executed[pu];
     if (config.record_trace) {
-      result.trace.push_back(
-          TaskEvent{static_cast<int>(pu), task_start, finish[pu]});
+      record(result, TraceEventType::kTaskExec, static_cast<int>(pu),
+             task_start, finish[pu], i);
     }
   }
 
@@ -329,6 +353,11 @@ SimResult simulate_hybrid(const MachineConfig& config,
     result.counter_wait += response - (arrival - config.link_latency(p, 0));
 
     const std::int64_t first = next_task;
+    if (config.record_trace) {
+      record(result, TraceEventType::kCounterOp, p,
+             arrival - config.link_latency(p, 0), response,
+             first < n_tasks ? first : -1, 0);
+    }
     if (first >= n_tasks) {
       makespan = std::max(makespan, response);
       continue;
@@ -344,7 +373,7 @@ SimResult simulate_hybrid(const MachineConfig& config,
       result.busy[pu] += exec;
       ++result.tasks_executed[pu];
       if (config.record_trace) {
-        result.trace.push_back(TaskEvent{p, task_start, t});
+        record(result, TraceEventType::kTaskExec, p, task_start, t, i);
       }
     }
     makespan = std::max(makespan, t);
@@ -453,7 +482,7 @@ SimResult simulate_work_stealing(const MachineConfig& config,
     const double task_start = start + config.task_overhead;
     const double done = task_start + exec;
     if (config.record_trace) {
-      result.trace.push_back(TaskEvent{p, task_start, done});
+      record(result, TraceEventType::kTaskExec, p, task_start, done, task);
     }
     makespan = std::max(makespan, done);
     events.push(Event{done, seq++, p});
@@ -482,6 +511,10 @@ SimResult simulate_work_stealing(const MachineConfig& config,
 
     if (queues[vu].empty()) {
       result.steal_wait += rtt;
+      if (config.record_trace) {
+        record(result, TraceEventType::kStealFail, ev.proc, ev.time,
+               ev.time + rtt, -1, victim);
+      }
       events.push(
           Event{ev.time + rtt + config.steal_fail_retry, seq++, ev.proc});
       continue;
@@ -492,6 +525,10 @@ SimResult simulate_work_stealing(const MachineConfig& config,
     const std::int64_t task = queues[vu].front();
     queues[vu].pop_front();
     --total_queued;
+    if (config.record_trace) {
+      record(result, TraceEventType::kStealSuccess, ev.proc, ev.time,
+             ev.time + rtt, task, victim);
+    }
     if (options.steal_half) {
       // Migrate up to half of the victim's remaining queue.
       std::size_t extra = queues[vu].size() / 2;

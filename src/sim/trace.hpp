@@ -1,0 +1,97 @@
+#pragma once
+
+// Typed execution-event stream recorded by the discrete-event simulators,
+// plus the analysis passes behind the paper's overhead-anatomy figures.
+//
+// Every simulator (static, counter family, hybrid, work stealing) emits
+// TraceEvents when MachineConfig::record_trace is set: task executions,
+// steal attempts with victim provenance, counter round trips, and
+// iteration boundaries for multi-round (retentive/persistence) runs.
+// Analyses derive utilization timelines, idle gaps, steal-provenance
+// matrices, and a critical-path summary; write_chrome_trace exports the
+// stream as Chrome trace-event JSON so any run opens in Perfetto /
+// chrome://tracing.
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+namespace emc::sim {
+
+enum class TraceEventType : std::uint8_t {
+  kTaskExec = 0,        ///< one task body on one proc
+  kStealSuccess,        ///< steal round trip that returned work
+  kStealFail,           ///< steal round trip that found an empty victim
+  kCounterOp,           ///< counter fetch-and-add round trip (issue->reply)
+  kIdle,                ///< derived idle gap (see derive_idle_gaps)
+  kIterationBoundary,   ///< round boundary in a merged multi-round trace
+};
+
+/// Display name ("task", "steal", ...).
+const char* trace_event_name(TraceEventType type);
+
+/// One simulated event. `proc` is the acting processor (the thief for
+/// steals, the requester for counter ops). `peer` is the steal victim or
+/// the counter-home proc, -1 otherwise. `task` is the executed task id,
+/// the first task of a counter grab (-1 for a dry grab), or the round
+/// index of an iteration boundary.
+struct TraceEvent {
+  TraceEventType type = TraceEventType::kTaskExec;
+  int proc = 0;
+  int peer = -1;
+  std::int64_t task = -1;
+  double start = 0.0;
+  double end = 0.0;
+
+  double duration() const { return end - start; }
+};
+
+/// Fraction of processors busy (executing tasks) in each of `bins` equal
+/// slices of [0, makespan]. Throws std::invalid_argument on an empty
+/// trace or bins/n_procs < 1.
+std::vector<double> utilization_timeline(std::span<const TraceEvent> trace,
+                                         double makespan, int n_procs,
+                                         int bins);
+
+/// Successful-steal provenance: row-major n_procs x n_procs matrix,
+/// entry [thief * n_procs + victim] = steals thief took from victim.
+std::vector<std::int64_t> steal_provenance(
+    std::span<const TraceEvent> trace, int n_procs);
+
+/// Derives per-proc idle gaps: maximal intervals of [0, makespan] not
+/// covered by any recorded event on that proc, emitted as kIdle events
+/// (gaps shorter than min_gap are dropped). The input need not be
+/// sorted.
+std::vector<TraceEvent> derive_idle_gaps(std::span<const TraceEvent> trace,
+                                         int n_procs, double makespan,
+                                         double min_gap = 0.0);
+
+/// Critical-path / idle-gap anatomy of a recorded run. The critical proc
+/// is the one whose last event ends the run; its time decomposes into
+/// busy (task execution), overhead (steal + counter round trips), and
+/// idle.
+struct TraceSummary {
+  std::int64_t events = 0;           ///< recorded events analysed
+  int critical_proc = -1;
+  double critical_busy = 0.0;
+  double critical_overhead = 0.0;
+  double critical_idle = 0.0;
+  double longest_idle_gap = 0.0;
+  int longest_idle_proc = -1;
+  double total_idle = 0.0;           ///< summed over all procs
+  double total_busy = 0.0;
+  double total_overhead = 0.0;
+};
+
+TraceSummary summarize_trace(std::span<const TraceEvent> trace, int n_procs,
+                             double makespan);
+
+/// Writes the stream as Chrome trace-event JSON (JSON Object Format,
+/// complete "X" events with ts/dur in microseconds; pid = node given
+/// procs_per_node, tid = proc). Loadable in Perfetto / chrome://tracing.
+void write_chrome_trace(std::ostream& out,
+                        std::span<const TraceEvent> trace,
+                        int procs_per_node);
+
+}  // namespace emc::sim

@@ -1,0 +1,234 @@
+#include "util/metrics.hpp"
+
+#include <cmath>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+
+namespace emc::util {
+
+namespace {
+
+/// Relaxed CAS accumulate for atomic<double> (no fetch_add pre-C++20 on
+/// all targets, and we only need eventual consistency).
+void atomic_add(std::atomic<double>& target, double delta) {
+  double observed = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(observed, observed + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& target, double value) {
+  double observed = target.load(std::memory_order_relaxed);
+  while (value < observed &&
+         !target.compare_exchange_weak(observed, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& target, double value) {
+  double observed = target.load(std::memory_order_relaxed);
+  while (value > observed &&
+         !target.compare_exchange_weak(observed, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Gauge::add(double delta) { atomic_add(value_, delta); }
+
+void Histogram::record(double value) {
+  int bin = 0;
+  if (value > 0.0) {
+    int exp = 0;
+    std::frexp(value, &exp);  // value = m * 2^exp, m in [0.5, 1)
+    bin = exp - 1 - kMinExp;  // floor(log2(value)) - kMinExp
+    if (bin < 0) bin = 0;
+    if (bin >= kBins) bin = kBins - 1;
+  }
+  bins_[static_cast<std::size_t>(bin)].fetch_add(1,
+                                                 std::memory_order_relaxed);
+  const std::int64_t before =
+      count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, value);
+  if (before == 0) {
+    // First sample initializes min/max; races with concurrent first
+    // samples resolve through the min/max CAS loops below.
+    double zero = 0.0;
+    min_.compare_exchange_strong(zero, value, std::memory_order_relaxed);
+  }
+  atomic_min(min_, value);
+  atomic_max(max_, value);
+}
+
+double Histogram::mean() const {
+  const std::int64_t n = count();
+  return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+}
+
+double Histogram::min() const {
+  return count() > 0 ? min_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double Histogram::max() const {
+  return count() > 0 ? max_.load(std::memory_order_relaxed) : 0.0;
+}
+
+std::array<std::int64_t, Histogram::kBins> Histogram::bins() const {
+  std::array<std::int64_t, kBins> out{};
+  for (int b = 0; b < kBins; ++b) {
+    out[static_cast<std::size_t>(b)] =
+        bins_[static_cast<std::size_t>(b)].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double Histogram::bin_lower_bound(int bin) {
+  return std::ldexp(1.0, bin + kMinExp);
+}
+
+void Histogram::reset() {
+  for (auto& b : bins_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+namespace {
+
+/// Create-or-get under the registry lock; `others` are the same-name
+/// maps of the other metric kinds (cross-kind reuse is a bug).
+template <typename Map, typename... OtherMaps>
+typename Map::mapped_type::element_type& resolve(
+    std::shared_mutex& mutex, Map& map, const std::string& name,
+    const OtherMaps&... others) {
+  {
+    std::shared_lock lock(mutex);
+    const auto it = map.find(name);
+    if (it != map.end()) return *it->second;
+  }
+  std::unique_lock lock(mutex);
+  if ((... || (others.find(name) != others.end()))) {
+    throw std::invalid_argument("MetricsRegistry: '" + name +
+                                "' already registered as another kind");
+  }
+  auto& slot = map[name];
+  if (!slot) {
+    slot = std::make_unique<typename Map::mapped_type::element_type>();
+  }
+  return *slot;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return resolve(mutex_, counters_, name, gauges_, histograms_);
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return resolve(mutex_, gauges_, name, counters_, histograms_);
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  return resolve(mutex_, histograms_, name, counters_, gauges_);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::shared_lock lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace(name, c->value());
+  }
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace(name, g->value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramValue v;
+    v.count = h->count();
+    v.sum = h->sum();
+    v.min = h->min();
+    v.max = h->max();
+    const auto bins = h->bins();
+    for (int b = 0; b < Histogram::kBins; ++b) {
+      const std::int64_t n = bins[static_cast<std::size_t>(b)];
+      if (n > 0) v.bins.emplace_back(Histogram::bin_lower_bound(b), n);
+    }
+    snap.histograms.emplace(name, std::move(v));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::shared_lock lock(mutex_);
+  for (const auto& [name, c] : counters_) c->reset();
+  for (const auto& [name, g] : gauges_) g->reset();
+  for (const auto& [name, h] : histograms_) h->reset();
+}
+
+void MetricsRegistry::clear() {
+  std::unique_lock lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::shared_lock lock(mutex_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+void MetricsRegistry::write_text(std::ostream& out) const {
+  const MetricsSnapshot snap = snapshot();
+  for (const auto& [name, value] : snap.counters) {
+    out << name << " counter " << value << "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    out << name << " gauge " << value << "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    out << name << " histogram count=" << h.count << " sum=" << h.sum
+        << " min=" << h.min << " max=" << h.max << "\n";
+  }
+}
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+  // Names are code-controlled identifiers (no quotes/backslashes), so
+  // plain quoting suffices.
+  const MetricsSnapshot snap = snapshot();
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    out << (first ? "" : ",") << "\n    \"" << name << "\": " << value;
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    out << (first ? "" : ",") << "\n    \"" << name << "\": " << value;
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    out << (first ? "" : ",") << "\n    \"" << name
+        << "\": {\"count\": " << h.count << ", \"sum\": " << h.sum
+        << ", \"min\": " << h.min << ", \"max\": " << h.max
+        << ", \"bins\": [";
+    for (std::size_t b = 0; b < h.bins.size(); ++b) {
+      out << (b == 0 ? "" : ", ") << "[" << h.bins[b].first << ", "
+          << h.bins[b].second << "]";
+    }
+    out << "]}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace emc::util

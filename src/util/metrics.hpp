@@ -1,0 +1,136 @@
+#pragma once
+
+// Lightweight runtime-metrics registry: named counters, gauges, and
+// log-scale histograms with cheap thread-safe updates.
+//
+// Intended usage is resolve-once / update-often: a subsystem looks its
+// metrics up by name when instrumentation is attached (registration takes
+// a lock) and then holds plain references whose updates are single
+// relaxed atomics — cheap enough for PGAS one-sided-op and scheduler hot
+// paths. Snapshots, reset, and text/JSON export serve the observability
+// reports (bench_trace, EXP-3/EXP-8 anatomy).
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+namespace emc::util {
+
+/// Monotonic integer count. Updates are relaxed atomics.
+class Counter {
+ public:
+  void add(std::int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Double-valued level: set to the latest value or accumulated with add
+/// (CAS loop — gauges are not meant for per-task hot paths).
+class Gauge {
+ public:
+  void set(double value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void add(double delta);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Log-scale (power-of-two bins) histogram of positive doubles, plus
+/// count/sum/min/max. Values spanning many orders of magnitude — task
+/// costs, wait times, transfer sizes — land in stable bins without
+/// configuration. Bin b covers [2^(b + kMinExp), 2^(b + kMinExp + 1));
+/// out-of-range values clamp to the first/last bin.
+class Histogram {
+ public:
+  static constexpr int kBins = 64;
+  static constexpr int kMinExp = -44;  ///< 2^-44 ~ 5.7e-14 lower edge
+
+  void record(double value);
+  std::int64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const;
+  double min() const;  ///< 0 when empty
+  double max() const;  ///< 0 when empty
+  /// Snapshot of the per-bin counts.
+  std::array<std::int64_t, kBins> bins() const;
+  /// Lower edge of bin b.
+  static double bin_lower_bound(int bin);
+  void reset();
+
+ private:
+  std::array<std::atomic<std::int64_t>, kBins> bins_{};
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Point-in-time copy of every registered metric, for reports.
+struct MetricsSnapshot {
+  struct HistogramValue {
+    std::int64_t count = 0;
+    double sum = 0.0, min = 0.0, max = 0.0;
+    /// (bin lower edge, count) for non-empty bins only.
+    std::vector<std::pair<double, std::int64_t>> bins;
+  };
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramValue> histograms;
+};
+
+/// Name -> metric registry. Registration (the first counter()/gauge()/
+/// histogram() call per name) takes an exclusive lock; later lookups a
+/// shared lock; returned references stay valid for the registry's
+/// lifetime, so hot paths resolve once and update lock-free. A name
+/// registered as one kind cannot be re-registered as another
+/// (std::invalid_argument).
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  MetricsSnapshot snapshot() const;
+  /// Zeroes every metric's value; registrations (and outstanding
+  /// references) stay valid.
+  void reset();
+  /// Drops all registrations. Outstanding references become dangling —
+  /// only for teardown between independent runs.
+  void clear();
+  std::size_t size() const;
+
+  /// One `name kind value` line per metric, sorted by name.
+  void write_text(std::ostream& out) const;
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  void write_json(std::ostream& out) const;
+
+  /// Process-wide default registry.
+  static MetricsRegistry& global();
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace emc::util

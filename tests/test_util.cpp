@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 #include <set>
@@ -9,6 +10,7 @@
 
 #include "util/cli.hpp"
 #include "util/log.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -301,6 +303,107 @@ TEST(TimerTest, MeasuresElapsedTime) {
   for (int i = 0; i < 100000; ++i) x = x + 1.0;
   EXPECT_GT(t.seconds(), 0.0);
   EXPECT_GE(t.nanos(), 0u);
+}
+
+TEST(LogTest, LineCarriesStampLevelAndThreadTag) {
+  emc::set_log_thread_tag("r7");
+  const std::string line =
+      emc::detail::format_log_line(emc::LogLevel::kWarn, "hello");
+  emc::set_log_thread_tag("");  // restore the automatic tag
+  // Format: [WARN +<seconds>s r7] hello
+  EXPECT_EQ(line.rfind("[WARN +", 0), 0u);
+  EXPECT_NE(line.find("s r7] hello"), std::string::npos);
+  const std::size_t plus = line.find('+');
+  const std::size_t s = line.find("s ", plus);
+  ASSERT_NE(s, std::string::npos);
+  const double elapsed = std::stod(line.substr(plus + 1, s - plus - 1));
+  EXPECT_GE(elapsed, 0.0);
+  EXPECT_LT(elapsed, 3600.0);  // sane process-elapsed stamp
+}
+
+TEST(LogTest, AutomaticTagAssignedOnce) {
+  emc::set_log_thread_tag("");
+  const std::string first = emc::log_thread_tag();
+  EXPECT_EQ(first.rfind('T', 0), 0u);
+  EXPECT_EQ(emc::log_thread_tag(), first);  // stable across calls
+  emc::set_log_thread_tag("custom");
+  EXPECT_EQ(emc::log_thread_tag(), "custom");
+  emc::set_log_thread_tag("");
+}
+
+TEST(MetricsTest, CounterGaugeHistogramRoundTrip) {
+  emc::util::MetricsRegistry reg;
+  reg.counter("ops").add(3);
+  reg.counter("ops").add(2);
+  reg.gauge("level").set(1.5);
+  reg.gauge("level").add(0.25);
+  reg.histogram("wait").record(1e-6);
+  reg.histogram("wait").record(2e-6);
+  reg.histogram("wait").record(1.0);
+
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("ops"), 5);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("level"), 1.75);
+  const auto& h = snap.histograms.at("wait");
+  EXPECT_EQ(h.count, 3);
+  EXPECT_DOUBLE_EQ(h.min, 1e-6);
+  EXPECT_DOUBLE_EQ(h.max, 1.0);
+  EXPECT_NEAR(h.sum, 1.0 + 3e-6, 1e-12);
+  std::int64_t binned = 0;
+  for (const auto& [edge, count] : h.bins) binned += count;
+  EXPECT_EQ(binned, 3);
+}
+
+TEST(MetricsTest, ResetZeroesButKeepsRegistrations) {
+  emc::util::MetricsRegistry reg;
+  emc::util::Counter& ops = reg.counter("ops");
+  ops.add(10);
+  reg.gauge("g").set(2.0);
+  reg.histogram("h").record(0.5);
+  reg.reset();
+  EXPECT_EQ(reg.size(), 3u);
+  EXPECT_EQ(ops.value(), 0);  // outstanding reference still valid
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("ops"), 0);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("g"), 0.0);
+  EXPECT_EQ(snap.histograms.at("h").count, 0);
+  ops.add(1);
+  EXPECT_EQ(reg.counter("ops").value(), 1);
+}
+
+TEST(MetricsTest, NameCannotChangeKind) {
+  emc::util::MetricsRegistry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("x"), std::invalid_argument);
+}
+
+TEST(MetricsTest, JsonExportIsWellFormed) {
+  emc::util::MetricsRegistry reg;
+  reg.counter("a/ops").add(1);
+  reg.gauge("b").set(0.5);
+  std::ostringstream out;
+  reg.write_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"a/ops\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  // Balanced braces (no nesting beyond the fixed structure).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(MetricsTest, HistogramBinsCoverWideRange) {
+  emc::util::Histogram h;
+  h.record(1e-13);  // near the lower clamp
+  h.record(1e6);    // far above: clamps to the top bin
+  EXPECT_EQ(h.count(), 2);
+  const auto bins = h.bins();
+  std::int64_t total = 0;
+  for (std::int64_t b : bins) total += b;
+  EXPECT_EQ(total, 2);
+  EXPECT_GT(emc::util::Histogram::bin_lower_bound(1),
+            emc::util::Histogram::bin_lower_bound(0));
 }
 
 }  // namespace
