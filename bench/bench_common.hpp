@@ -4,6 +4,7 @@
 // header every bench prints so runs are self-describing and replayable,
 // and the JSON report writer the artifact-emitting benches share.
 
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <iostream>
@@ -49,9 +50,11 @@ class JsonWriter {
   void field(const std::string& key, const char* value) {
     field(key, std::string(value));
   }
+  /// NaN/Inf have no JSON representation (streaming them produces `nan`
+  /// / `inf` tokens no parser accepts) — they are emitted as null.
   void field(const std::string& key, double value) {
     key_prefix(key);
-    out_ << value;
+    write_double(value);
   }
   void field(const std::string& key, std::int64_t value) {
     key_prefix(key);
@@ -73,13 +76,21 @@ class JsonWriter {
     key_prefix(key);
     out_ << json;
   }
-  /// Scalar array element.
+  /// Scalar array element (null for NaN/Inf, as with field()).
   void value(double v) {
     element_prefix();
-    out_ << v;
+    write_double(v);
   }
 
  private:
+  void write_double(double v) {
+    if (std::isfinite(v)) {
+      out_ << v;
+    } else {
+      out_ << "null";
+    }
+  }
+
   struct Frame {
     bool is_array = false;
     int count = 0;

@@ -6,8 +6,9 @@
 // report carries per-rank get/put/acc op+byte totals, nxtval counts, and
 // barrier waits. Everything lands in one JSON report.
 //
-// The exported Chrome trace is always re-read and validated with a small
-// JSON parser: the file must parse and every event must carry the
+// The exported Chrome trace is always re-read and validated with the
+// strict util/json.hpp parser (which also rejects non-finite number
+// literals): the file must parse and every event must carry the
 // ph/ts/dur/pid/tid fields the trace viewers require. The process exits
 // nonzero if validation fails, which is what the bench_trace_smoke ctest
 // gate checks.
@@ -24,11 +25,9 @@
 //   --trace=PATH       Chrome trace output (default BENCH_trace.chrome.json)
 //   --report=PATH      JSON report output (default BENCH_trace.json)
 
-#include <cctype>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
-#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -41,192 +40,20 @@
 #include "pgas/runtime.hpp"
 #include "sim/simulators.hpp"
 #include "sim/trace.hpp"
+#include "util/json.hpp"
 #include "util/metrics.hpp"
 
 namespace {
 
 using namespace emc;
 using namespace emc::sim;
-
-// ---------------------------------------------------------------------------
-// Minimal JSON parser, just enough to validate the exported Chrome trace.
-// ---------------------------------------------------------------------------
-
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string str;
-  std::vector<JsonValue> array;
-  std::map<std::string, JsonValue> object;
-
-  bool has(const std::string& key) const {
-    return kind == Kind::kObject && object.count(key) > 0;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  /// Parses the whole document; throws std::runtime_error on any error.
-  JsonValue parse() {
-    JsonValue v = parse_value();
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing characters");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& what) const {
-    throw std::runtime_error("JSON parse error at byte " +
-                             std::to_string(pos_) + ": " + what);
-  }
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-  char peek() {
-    skip_ws();
-    if (pos_ >= text_.size()) fail("unexpected end");
-    return text_[pos_];
-  }
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-  bool consume_literal(const char* lit) {
-    const std::size_t n = std::string(lit).size();
-    if (text_.compare(pos_, n, lit) == 0) {
-      pos_ += n;
-      return true;
-    }
-    return false;
-  }
-
-  JsonValue parse_value() {
-    const char c = peek();
-    if (c == '{') return parse_object();
-    if (c == '[') return parse_array();
-    if (c == '"') {
-      JsonValue v;
-      v.kind = JsonValue::Kind::kString;
-      v.str = parse_string();
-      return v;
-    }
-    JsonValue v;
-    if (consume_literal("true")) {
-      v.kind = JsonValue::Kind::kBool;
-      v.boolean = true;
-      return v;
-    }
-    if (consume_literal("false")) {
-      v.kind = JsonValue::Kind::kBool;
-      return v;
-    }
-    if (consume_literal("null")) return v;
-    return parse_number();
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string s;
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_++];
-      if (c == '\\') {
-        if (pos_ >= text_.size()) fail("bad escape");
-        const char e = text_[pos_++];
-        switch (e) {
-          case 'n': c = '\n'; break;
-          case 't': c = '\t'; break;
-          case 'r': c = '\r'; break;
-          case 'b': c = '\b'; break;
-          case 'f': c = '\f'; break;
-          case 'u':
-            // Validation only needs structural fidelity, not code points.
-            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
-            pos_ += 4;
-            c = '?';
-            break;
-          default: c = e; break;
-        }
-      }
-      s += c;
-    }
-    if (pos_ >= text_.size()) fail("unterminated string");
-    ++pos_;  // closing quote
-    return s;
-  }
-
-  JsonValue parse_number() {
-    const std::size_t start = pos_;
-    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
-      ++pos_;
-    }
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-')) {
-      ++pos_;
-    }
-    if (pos_ == start) fail("expected a value");
-    JsonValue v;
-    v.kind = JsonValue::Kind::kNumber;
-    try {
-      v.number = std::stod(text_.substr(start, pos_ - start));
-    } catch (const std::exception&) {
-      fail("bad number");
-    }
-    return v;
-  }
-
-  JsonValue parse_array() {
-    expect('[');
-    JsonValue v;
-    v.kind = JsonValue::Kind::kArray;
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      v.array.push_back(parse_value());
-      const char c = peek();
-      ++pos_;
-      if (c == ']') return v;
-      if (c != ',') fail("expected ',' or ']'");
-    }
-  }
-
-  JsonValue parse_object() {
-    expect('{');
-    JsonValue v;
-    v.kind = JsonValue::Kind::kObject;
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      const std::string key = parse_string();
-      expect(':');
-      v.object[key] = parse_value();
-      const char c = peek();
-      ++pos_;
-      if (c == '}') return v;
-      if (c != ',') fail("expected ',' or '}'");
-    }
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
+using util::JsonValue;
 
 /// Re-reads an exported Chrome trace and checks the structure every
 /// viewer relies on: top-level object with a traceEvents array whose
-/// entries each carry ph/ts/dur/pid/tid (and a name). Returns the event
-/// count; -1 on failure (details on stderr).
+/// entries each carry ph/ts/dur/pid/tid (and a name). Parsing uses the
+/// strict util parser, so a trace carrying a raw NaN/Inf literal fails
+/// here. Returns the event count; -1 on failure (details on stderr).
 std::int64_t validate_chrome_trace(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
@@ -239,7 +66,7 @@ std::int64_t validate_chrome_trace(const std::string& path) {
 
   JsonValue doc;
   try {
-    doc = JsonParser(text).parse();
+    doc = util::parse_json(text);
   } catch (const std::exception& e) {
     std::cerr << "FAIL: " << path << " is not valid JSON: " << e.what()
               << "\n";

@@ -1,11 +1,31 @@
 #include "core/distributed_fock.hpp"
 
+#include <atomic>
 #include <stdexcept>
 
 #include "lb/simple.hpp"
+#include "util/rng.hpp"
 #include "util/timer.hpp"
 
 namespace emc::core {
+
+namespace {
+
+/// Stateless loss decision for one (task, attempt) execution; same hash
+/// construction as the PGAS/simulator fault layers. Rank-independent by
+/// design: whichever rank picks the task up sees the same verdict.
+bool task_attempt_lost(const DistributedFockOptions::TaskFaultOptions& tf,
+                       std::int64_t task, int attempt) {
+  std::uint64_t h = tf.seed ^
+                    (static_cast<std::uint64_t>(task) + 1) *
+                        0x9e3779b97f4a7c15ULL ^
+                    (static_cast<std::uint64_t>(attempt) + 1) *
+                        0xbf58476d1ce4e5b9ULL;
+  const double u = static_cast<double>(splitmix64(h) >> 11) * 0x1.0p-53;
+  return u < tf.fail_prob;
+}
+
+}  // namespace
 
 DistributedFockBuilder::DistributedFockBuilder(
     const chem::BasisSet& basis, pgas::Runtime& runtime,
@@ -20,6 +40,7 @@ void DistributedFockBuilder::attach_metrics() {
   runtime_->set_metrics(&reg);
   metrics_.builds = &reg.counter("fock/builds");
   metrics_.tasks = &reg.counter("fock/tasks");
+  metrics_.task_reexecs = &reg.counter("fock/task_reexecutions");
   metrics_.kets_scanned = &reg.counter("fock/ket_pairs_scanned");
   metrics_.kets_survived = &reg.counter("fock/ket_pairs_survived");
   metrics_.skip_rate = &reg.gauge("fock/screening_skip_rate");
@@ -108,8 +129,25 @@ linalg::Matrix DistributedFockBuilder::build_g(
   std::vector<linalg::Matrix> local_k(static_cast<std::size_t>(ranks),
                                       linalg::Matrix(n, n));
 
+  const DistributedFockOptions::TaskFaultOptions& tf = options_.task_faults;
+  std::atomic<std::int64_t> reexecs{0};
   const exec::TaskBody body = [&](std::int64_t t, int rank) {
     const auto ru = static_cast<std::size_t>(rank);
+    if (tf.enabled()) {
+      // Lost attempts are decided before the kernel runs, so partial
+      // contributions never touch the local J/K buffers; each loss just
+      // costs its delay and the task goes again. The last attempt is
+      // forced through.
+      int attempt = 0;
+      while (attempt + 1 < tf.max_attempts &&
+             task_attempt_lost(tf, t, attempt)) {
+        pgas::inject_delay(tf.reexec_delay_ns);
+        ++attempt;
+      }
+      if (attempt > 0) {
+        reexecs.fetch_add(attempt, std::memory_order_relaxed);
+      }
+    }
     fock_.execute_task(tasks_[static_cast<std::size_t>(t)],
                        local_density[ru], local_j[ru], local_k[ru]);
   };
@@ -167,9 +205,11 @@ linalg::Matrix DistributedFockBuilder::build_g(
     }
   }
   ++builds_;
+  last_reexecs_ = reexecs.load(std::memory_order_relaxed);
   if (metrics_.builds != nullptr) {
     metrics_.builds->add(1);
     metrics_.tasks->add(n_tasks);
+    metrics_.task_reexecs->add(last_reexecs_);
     metrics_.kets_scanned->add(static_cast<std::int64_t>(scan_total_));
     metrics_.kets_survived->add(static_cast<std::int64_t>(survived_total_));
   }

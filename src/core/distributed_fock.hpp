@@ -10,6 +10,7 @@
 // can be driven end-to-end through any execution model and verified
 // against the sequential reference (tests/test_distributed_fock.cpp).
 
+#include <cstdint>
 #include <string>
 
 #include "chem/fock.hpp"
@@ -35,6 +36,25 @@ struct DistributedFockOptions {
   std::int64_t counter_chunk = 4;
   exec::WorkStealingOptions steal;
   double screen_threshold = 1e-10;
+  /// Fault injection for task execution. Each (task, attempt) pair is
+  /// deemed lost with probability fail_prob — a stateless hash of
+  /// (seed, task, attempt), independent of which rank runs it, so the
+  /// same tasks are lost under any schedule or interleaving. A lost
+  /// attempt pays reexec_delay_ns of wasted work and is re-executed.
+  /// The loss decision is made BEFORE the kernel runs, so exactly one
+  /// real execution ever contributes to J/K: a fault-injected build is
+  /// bitwise identical to the fault-free one whenever the accumulate
+  /// ordering is (as with 2 ranks, where two-operand addition
+  /// commutes bitwise). The final attempt always succeeds, bounding
+  /// the retry loop at max_attempts.
+  struct TaskFaultOptions {
+    double fail_prob = 0.0;        ///< per-attempt loss probability
+    int max_attempts = 8;          ///< last attempt is forced through
+    std::uint64_t seed = 17;       ///< hash seed for loss decisions
+    std::uint64_t reexec_delay_ns = 0;  ///< cost of one lost attempt
+    bool enabled() const { return fail_prob > 0.0; }
+  };
+  TaskFaultOptions task_faults;
   /// Optional observability hook. When set, the builder attaches it to
   /// the runtime (per-rank barrier/PGAS counters), the per-build
   /// GlobalArrays (get/put/acc ops + bytes), and records its own
@@ -66,6 +86,9 @@ class DistributedFockBuilder {
   const exec::ExecutionStats& last_stats() const { return last_stats_; }
   /// Total build_g invocations (SCF iterations served).
   int builds() const { return builds_; }
+  /// Task re-executions forced by fault injection during the most
+  /// recent build_g call (0 when task_faults are disabled).
+  std::int64_t last_task_reexecutions() const { return last_reexecs_; }
 
  private:
   lb::Assignment initial_assignment() const;
@@ -76,6 +99,7 @@ class DistributedFockBuilder {
   struct FockMetrics {
     util::Counter* builds = nullptr;
     util::Counter* tasks = nullptr;
+    util::Counter* task_reexecs = nullptr;
     util::Counter* kets_scanned = nullptr;
     util::Counter* kets_survived = nullptr;
     util::Gauge* skip_rate = nullptr;
@@ -91,6 +115,7 @@ class DistributedFockBuilder {
   std::vector<chem::ShellPairTask> tasks_;
   exec::ExecutionStats last_stats_;
   int builds_ = 0;
+  std::int64_t last_reexecs_ = 0;
   FockMetrics metrics_;
   // Screening totals over all tasks (density-independent, so computed
   // once at attach time): ket pairs scanned vs surviving Schwarz.

@@ -44,13 +44,14 @@ class WsDeque {
       bottom_.store(b + 1, std::memory_order_relaxed);
       return std::nullopt;
     }
-    std::int64_t value = buffer_[index(b)].load(std::memory_order_relaxed);
+    const std::int64_t value =
+        buffer_[index(b)].load(std::memory_order_relaxed);
     if (t == b) {
       // Last element: race against thieves via CAS on top.
       if (!top_.compare_exchange_strong(t, t + 1,
                                         std::memory_order_seq_cst,
                                         std::memory_order_relaxed)) {
-        value = -1;  // lost the race
+        // Lost the race: a thief took the element.
         bottom_.store(b + 1, std::memory_order_relaxed);
         return std::nullopt;
       }

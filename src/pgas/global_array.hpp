@@ -8,6 +8,8 @@
 // latency. Accumulate is atomic per stripe (mutex), matching ARMCI's
 // element-wise atomic accumulate guarantee.
 
+#include <atomic>
+#include <cstdint>
 #include <mutex>
 #include <span>
 #include <vector>
@@ -52,7 +54,8 @@ class GlobalArray {
 
   /// Attaches a metrics registry: get/put/accumulate record per-caller
   /// operation counts and bytes moved ("pgas/r<k>/get_ops",
-  /// "pgas/r<k>/get_bytes", likewise put/acc). The names carry no array
+  /// "pgas/r<k>/get_bytes", likewise put/acc) plus fault-injected retry
+  /// counts ("pgas/r<k>/op_retries"). The names carry no array
   /// identity, so several arrays sharing a registry accumulate into the
   /// same per-rank totals. Counters are resolved once here; nullptr
   /// detaches. The registry must outlive the array.
@@ -66,6 +69,13 @@ class GlobalArray {
  private:
   void check_patch(std::size_t r0, std::size_t c0, std::size_t h,
                    std::size_t w) const;
+  /// Replays the drop/retry protocol (resolve_with_retries) before a
+  /// one-sided op when `cost.faults_enabled()`. Each caller advances its
+  /// own op-sequence stream, so a fixed per-rank operation order replays
+  /// the same drops regardless of thread interleaving. Records retries
+  /// into "pgas/r<k>/op_retries" when metrics are attached.
+  void resolve_faults(int caller, std::size_t n_bytes,
+                      const CommCostModel& cost) const;
   /// Invokes fn(stripe_rank, row_first, row_last) for each stripe the
   /// row range [r0, r0+h) intersects.
   template <typename Fn>
@@ -87,8 +97,12 @@ class GlobalArray {
   int n_ranks_;
   std::vector<double> data_;
   mutable std::vector<std::mutex> stripe_mutexes_;
+  // Per-caller one-sided op sequence (slot 0 for anonymous callers,
+  // slot k+1 for rank k), feeding the drop-decision hash.
+  mutable std::vector<std::atomic<std::uint64_t>> op_seq_;
   bool metrics_attached_ = false;
   OpMetrics get_metrics_, put_metrics_, acc_metrics_;
+  std::vector<util::Counter*> retry_metrics_;
 };
 
 }  // namespace emc::pgas

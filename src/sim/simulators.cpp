@@ -39,6 +39,93 @@ void check_inputs(const MachineConfig& config, std::span<const double> costs) {
   }
 }
 
+/// Marks every compiled fault window (and the counter outage, attributed
+/// to the counter-home proc 0) in the trace as paired
+/// kFaultStart/kFaultEnd instants, so timelines show where the machine
+/// was perturbed.
+void record_fault_windows(SimResult& result, const MachineConfig& config,
+                          const FaultSchedule& faults) {
+  if (!config.record_trace || !faults.active()) return;
+  for (int p = 0; p < config.n_procs; ++p) {
+    const FaultWindow& w = faults.window(p);
+    if (!w.exists()) continue;
+    record(result, TraceEventType::kFaultStart, p, w.start, w.start);
+    record(result, TraceEventType::kFaultEnd, p, w.end, w.end);
+  }
+  const FaultModel& m = faults.model();
+  if (m.outage_start >= 0.0 && m.outage_duration > 0.0) {
+    record(result, TraceEventType::kFaultStart, 0, m.outage_start,
+           m.outage_start, -1, 0);
+    record(result, TraceEventType::kFaultEnd, 0,
+           m.outage_start + m.outage_duration,
+           m.outage_start + m.outage_duration, -1, 0);
+  }
+}
+
+/// Executes one task on `proc` starting no earlier than `ready`:
+/// dispatch overhead, then `exec` seconds of work replayed through the
+/// fault schedule (dilation or lost-work restarts). Accounts busy time
+/// as the productive `exec` only, so utilization reflects faults.
+/// Returns the finish time.
+double run_task(const MachineConfig& config, const FaultSchedule& faults,
+                SimResult& result, int proc, std::int64_t task,
+                double ready, double exec) {
+  const double start = ready + config.task_overhead;
+  int restarts = 0;
+  double last_restart = start;
+  const double done =
+      faults.finish_time(proc, start, exec, &restarts, &last_restart);
+  const auto pu = static_cast<std::size_t>(proc);
+  result.busy[pu] += exec;
+  ++result.tasks_executed[pu];
+  if (restarts > 0) {
+    result.tasks_reexecuted += restarts;
+    if (config.record_trace) {
+      record(result, TraceEventType::kTaskReexec, proc, start, last_restart,
+             task);
+    }
+  }
+  if (config.record_trace) {
+    record(result, TraceEventType::kTaskExec, proc,
+           restarts > 0 ? last_restart : start, done, task);
+  }
+  return done;
+}
+
+/// Per-proc retry bookkeeping for dropped one-sided ops.
+struct RetryState {
+  std::vector<std::uint64_t> op_seq;
+  std::vector<int> attempt;
+
+  explicit RetryState(int n_procs)
+      : op_seq(static_cast<std::size_t>(n_procs), 0),
+        attempt(static_cast<std::size_t>(n_procs), 0) {}
+
+  /// Decides whether the round trip issued by `proc` at `issue` is
+  /// dropped. On a drop, records the retry (count, trace event whose
+  /// span covers the wasted round trip + backoff) and returns the time
+  /// the proc reissues; on success resets the attempt streak and
+  /// returns a negative sentinel.
+  double resolve(const MachineConfig& config, const FaultSchedule& faults,
+                 SimResult& result, int proc, double issue, double rtt,
+                 int peer) {
+    const auto pu = static_cast<std::size_t>(proc);
+    if (faults.drop_op(proc, op_seq[pu], attempt[pu])) {
+      const double retry_at = issue + rtt + faults.backoff(attempt[pu]);
+      ++attempt[pu];
+      ++result.op_retries;
+      if (config.record_trace) {
+        record(result, TraceEventType::kOpRetry, proc, issue, retry_at, -1,
+               peer);
+      }
+      return retry_at;
+    }
+    attempt[pu] = 0;
+    ++op_seq[pu];
+    return -1.0;
+  }
+};
+
 }  // namespace
 
 SimResult simulate_static(const MachineConfig& config,
@@ -51,22 +138,18 @@ SimResult simulate_static(const MachineConfig& config,
   lb::validate_assignment(assignment, config.n_procs);
 
   const auto speeds = draw_core_speeds(config);
+  const FaultSchedule faults(config);
   SimResult result;
   result.busy.assign(static_cast<std::size_t>(config.n_procs), 0.0);
   result.tasks_executed.assign(static_cast<std::size_t>(config.n_procs), 0);
+  record_fault_windows(result, config, faults);
 
   std::vector<double> finish(static_cast<std::size_t>(config.n_procs), 0.0);
   for (std::size_t t = 0; t < costs.size(); ++t) {
     const auto p = static_cast<std::size_t>(assignment[t]);
     const double exec = costs[t] / speeds[p];
-    const double start = finish[p] + config.task_overhead;
-    finish[p] = start + exec;
-    result.busy[p] += exec;
-    ++result.tasks_executed[p];
-    if (config.record_trace) {
-      record(result, TraceEventType::kTaskExec, static_cast<int>(p), start,
-             finish[p], static_cast<std::int64_t>(t));
-    }
+    finish[p] = run_task(config, faults, result, static_cast<int>(p),
+                         static_cast<std::int64_t>(t), finish[p], exec);
   }
   result.makespan = *std::max_element(finish.begin(), finish.end());
   return result;
@@ -89,10 +172,13 @@ SimResult simulate_counter(const MachineConfig& config,
   }
 
   const auto speeds = draw_core_speeds(config);
+  const FaultSchedule faults(config);
+  RetryState retries(config.n_procs);
   const auto n_tasks = static_cast<std::int64_t>(costs.size());
   SimResult result;
   result.busy.assign(static_cast<std::size_t>(config.n_procs), 0.0);
   result.tasks_executed.assign(static_cast<std::size_t>(config.n_procs), 0);
+  record_fault_windows(result, config, faults);
 
   // Trapezoid self-scheduling parameters (Tzen & Ni): chunks shrink
   // linearly from `first` to the floor across the expected grab count.
@@ -140,12 +226,21 @@ SimResult simulate_counter(const MachineConfig& config,
   while (!heap.empty()) {
     const auto [arrival, p] = heap.top();
     heap.pop();
-    const double start = std::max(arrival, server_free);
+    const double issue = arrival - config.link_latency(p, 0);
+    const double retry_at = retries.resolve(
+        config, faults, result, p, issue,
+        2.0 * config.link_latency(p, 0), 0);
+    if (retry_at >= 0.0) {
+      // Round trip dropped: the proc times out, backs off, reissues.
+      heap.emplace(retry_at + config.link_latency(p, 0), p);
+      continue;
+    }
+    const double start =
+        std::max(faults.outage_release(arrival), server_free);
     server_free = start + config.counter_service;
     const double response =
         server_free + config.link_latency(p, 0);
     ++result.counter_ops;
-    const double issue = arrival - config.link_latency(p, 0);
     result.counter_wait += response - issue;
 
     const std::int64_t first = next_task;
@@ -165,13 +260,7 @@ SimResult simulate_counter(const MachineConfig& config,
     double t = response;
     for (std::int64_t i = first; i < next_task; ++i) {
       const double exec = costs[static_cast<std::size_t>(i)] / speeds[pu];
-      const double task_start = t + config.task_overhead;
-      t = task_start + exec;
-      result.busy[pu] += exec;
-      ++result.tasks_executed[pu];
-      if (config.record_trace) {
-        record(result, TraceEventType::kTaskExec, p, task_start, t, i);
-      }
+      t = run_task(config, faults, result, p, i, t, exec);
     }
     makespan = std::max(makespan, t);
     heap.emplace(t + config.link_latency(p, 0), p);
@@ -192,12 +281,15 @@ SimResult simulate_hierarchical_counter(const MachineConfig& config,
   }
 
   const auto speeds = draw_core_speeds(config);
+  const FaultSchedule faults(config);
+  RetryState retries(config.n_procs);
   const auto n_tasks = static_cast<std::int64_t>(costs.size());
   const int n_nodes =
       (config.n_procs + config.procs_per_node - 1) / config.procs_per_node;
   SimResult result;
   result.busy.assign(static_cast<std::size_t>(config.n_procs), 0.0);
   result.tasks_executed.assign(static_cast<std::size_t>(config.n_procs), 0);
+  record_fault_windows(result, config, faults);
 
   // Per-node proxy counter state: [range_next, range_end) plus server
   // availability. The global counter (proc 0's node) hands out
@@ -224,14 +316,25 @@ SimResult simulate_hierarchical_counter(const MachineConfig& config,
     const auto nu = static_cast<std::size_t>(node);
     const int leader = node * config.procs_per_node;
 
+    const double retry_at = retries.resolve(
+        config, faults, result, p, arrival - config.link_latency(p, leader),
+        2.0 * config.link_latency(p, leader), leader);
+    if (retry_at >= 0.0) {
+      heap.emplace(retry_at + config.link_latency(p, leader), p);
+      continue;
+    }
+
     double t = std::max(arrival, node_free[nu]);
     t += config.counter_service;  // node-counter serialization
     ++result.counter_ops;
 
     if (node_next[nu] >= node_end[nu]) {
-      // Refill from the global counter (leader -> proc 0 round trip).
+      // Refill from the global counter (leader -> proc 0 round trip);
+      // an outage at the global home holds the refill until it ends.
       if (global_next < n_tasks) {
-        double g = std::max(t + config.link_latency(leader, 0), global_free);
+        double g = std::max(
+            faults.outage_release(t + config.link_latency(leader, 0)),
+            global_free);
         g += config.counter_service;
         global_free = g;
         ++result.counter_ops;
@@ -267,13 +370,7 @@ SimResult simulate_hierarchical_counter(const MachineConfig& config,
     double done = response;
     for (std::int64_t i = first; i < last; ++i) {
       const double exec = costs[static_cast<std::size_t>(i)] / speeds[pu];
-      const double task_start = done + config.task_overhead;
-      done = task_start + exec;
-      result.busy[pu] += exec;
-      ++result.tasks_executed[pu];
-      if (config.record_trace) {
-        record(result, TraceEventType::kTaskExec, p, task_start, done, i);
-      }
+      done = run_task(config, faults, result, p, i, done, exec);
     }
     makespan = std::max(makespan, done);
     heap.emplace(done + config.link_latency(p, leader), p);
@@ -309,9 +406,12 @@ SimResult simulate_hybrid(const MachineConfig& config,
   }
 
   const auto speeds = draw_core_speeds(config);
+  const FaultSchedule faults(config);
+  RetryState retries(config.n_procs);
   SimResult result;
   result.busy.assign(static_cast<std::size_t>(config.n_procs), 0.0);
   result.tasks_executed.assign(static_cast<std::size_t>(config.n_procs), 0);
+  record_fault_windows(result, config, faults);
 
   // Phase 1: static prefix.
   std::vector<double> finish(static_cast<std::size_t>(config.n_procs), 0.0);
@@ -319,14 +419,8 @@ SimResult simulate_hybrid(const MachineConfig& config,
     const auto pu =
         static_cast<std::size_t>(assignment[static_cast<std::size_t>(i)]);
     const double exec = costs[static_cast<std::size_t>(i)] / speeds[pu];
-    const double task_start = finish[pu] + config.task_overhead;
-    finish[pu] = task_start + exec;
-    result.busy[pu] += exec;
-    ++result.tasks_executed[pu];
-    if (config.record_trace) {
-      record(result, TraceEventType::kTaskExec, static_cast<int>(pu),
-             task_start, finish[pu], i);
-    }
+    finish[pu] = run_task(config, faults, result, static_cast<int>(pu), i,
+                          finish[pu], exec);
   }
 
   // Phase 2: counter-scheduled tail; procs join as they finish.
@@ -346,16 +440,24 @@ SimResult simulate_hybrid(const MachineConfig& config,
   while (!heap.empty()) {
     const auto [arrival, p] = heap.top();
     heap.pop();
-    const double start = std::max(arrival, server_free);
+    const double issue = arrival - config.link_latency(p, 0);
+    const double retry_at = retries.resolve(
+        config, faults, result, p, issue,
+        2.0 * config.link_latency(p, 0), 0);
+    if (retry_at >= 0.0) {
+      heap.emplace(retry_at + config.link_latency(p, 0), p);
+      continue;
+    }
+    const double start =
+        std::max(faults.outage_release(arrival), server_free);
     server_free = start + config.counter_service;
     const double response = server_free + config.link_latency(p, 0);
     ++result.counter_ops;
-    result.counter_wait += response - (arrival - config.link_latency(p, 0));
+    result.counter_wait += response - issue;
 
     const std::int64_t first = next_task;
     if (config.record_trace) {
-      record(result, TraceEventType::kCounterOp, p,
-             arrival - config.link_latency(p, 0), response,
+      record(result, TraceEventType::kCounterOp, p, issue, response,
              first < n_tasks ? first : -1, 0);
     }
     if (first >= n_tasks) {
@@ -368,13 +470,7 @@ SimResult simulate_hybrid(const MachineConfig& config,
     double t = response;
     for (std::int64_t i = first; i < next_task; ++i) {
       const double exec = costs[static_cast<std::size_t>(i)] / speeds[pu];
-      const double task_start = t + config.task_overhead;
-      t = task_start + exec;
-      result.busy[pu] += exec;
-      ++result.tasks_executed[pu];
-      if (config.record_trace) {
-        record(result, TraceEventType::kTaskExec, p, task_start, t, i);
-      }
+      t = run_task(config, faults, result, p, i, t, exec);
     }
     makespan = std::max(makespan, t);
     heap.emplace(t + config.link_latency(p, 0), p);
@@ -397,10 +493,13 @@ SimResult simulate_work_stealing(const MachineConfig& config,
   lb::validate_assignment(initial, config.n_procs);
 
   const auto speeds = draw_core_speeds(config);
+  const FaultSchedule faults(config);
+  RetryState retries(config.n_procs);
   const auto n_procs = static_cast<std::size_t>(config.n_procs);
   SimResult result;
   result.busy.assign(n_procs, 0.0);
   result.tasks_executed.assign(n_procs, 0);
+  record_fault_windows(result, config, faults);
   if (executed_by != nullptr) {
     executed_by->assign(costs.size(), -1);
   }
@@ -474,16 +573,11 @@ SimResult simulate_work_stealing(const MachineConfig& config,
   auto execute = [&](int p, std::int64_t task, double start) {
     const auto pu = static_cast<std::size_t>(p);
     const double exec = costs[static_cast<std::size_t>(task)] / speeds[pu];
-    result.busy[pu] += exec;
-    ++result.tasks_executed[pu];
     if (executed_by != nullptr) {
       (*executed_by)[static_cast<std::size_t>(task)] = p;
     }
-    const double task_start = start + config.task_overhead;
-    const double done = task_start + exec;
-    if (config.record_trace) {
-      record(result, TraceEventType::kTaskExec, p, task_start, done, task);
-    }
+    const double done =
+        run_task(config, faults, result, p, task, start, exec);
     makespan = std::max(makespan, done);
     events.push(Event{done, seq++, p});
   };
@@ -506,6 +600,13 @@ SimResult simulate_work_stealing(const MachineConfig& config,
     // Steal attempt at a policy-selected victim.
     const int victim = pick_victim(ev.proc);
     const double rtt = 2.0 * config.link_latency(ev.proc, victim);
+    const double retry_at = retries.resolve(config, faults, result, ev.proc,
+                                            ev.time, rtt, victim);
+    if (retry_at >= 0.0) {
+      // Steal request dropped in flight: back off and try again.
+      events.push(Event{retry_at, seq++, ev.proc});
+      continue;
+    }
     ++result.steal_attempts;
     const auto vu = static_cast<std::size_t>(victim);
 

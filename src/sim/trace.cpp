@@ -1,6 +1,7 @@
 #include "sim/trace.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <ostream>
 #include <stdexcept>
 
@@ -20,6 +21,14 @@ const char* trace_event_name(TraceEventType type) {
       return "idle";
     case TraceEventType::kIterationBoundary:
       return "iteration";
+    case TraceEventType::kFaultStart:
+      return "fault-start";
+    case TraceEventType::kFaultEnd:
+      return "fault-end";
+    case TraceEventType::kOpRetry:
+      return "op-retry";
+    case TraceEventType::kTaskReexec:
+      return "task-reexec";
   }
   return "?";
 }
@@ -40,6 +49,13 @@ std::vector<double> utilization_timeline(std::span<const TraceEvent> trace,
   }
   if (bins < 1 || n_procs < 1) {
     throw std::invalid_argument("utilization_timeline: bad bins/procs");
+  }
+  // A non-positive (or NaN) makespan would make the bin width zero and
+  // ev.start / width NaN/Inf, whose cast to int is undefined behavior;
+  // an infinite makespan would yield a meaningless all-zero timeline.
+  if (!(makespan > 0.0) || !std::isfinite(makespan)) {
+    throw std::invalid_argument(
+        "utilization_timeline: makespan must be positive and finite");
   }
   const double width = makespan / static_cast<double>(bins);
   std::vector<double> busy_time(static_cast<std::size_t>(bins), 0.0);
@@ -165,6 +181,8 @@ TraceSummary summarize_trace(std::span<const TraceEvent> trace, int n_procs,
       case TraceEventType::kStealSuccess:
       case TraceEventType::kStealFail:
       case TraceEventType::kCounterOp:
+      case TraceEventType::kOpRetry:
+      case TraceEventType::kTaskReexec:
         overhead[pu] += ev.duration();
         break;
       default:

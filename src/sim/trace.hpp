@@ -26,6 +26,10 @@ enum class TraceEventType : std::uint8_t {
   kCounterOp,           ///< counter fetch-and-add round trip (issue->reply)
   kIdle,                ///< derived idle gap (see derive_idle_gaps)
   kIterationBoundary,   ///< round boundary in a merged multi-round trace
+  kFaultStart,          ///< fault window opens on a proc (zero duration)
+  kFaultEnd,            ///< fault window closes on a proc (zero duration)
+  kOpRetry,             ///< dropped one-sided op: round trip + backoff
+  kTaskReexec,          ///< execution span lost to a stall, later re-run
 };
 
 /// Display name ("task", "steal", ...).

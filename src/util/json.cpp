@@ -1,0 +1,174 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <stdexcept>
+
+namespace emc::util {
+
+JsonValue JsonParser::parse() {
+  JsonValue v = parse_value();
+  skip_ws();
+  if (pos_ != text_.size()) fail("trailing characters");
+  return v;
+}
+
+void JsonParser::fail(const std::string& what) const {
+  throw std::runtime_error("JSON parse error at byte " +
+                           std::to_string(pos_) + ": " + what);
+}
+
+void JsonParser::skip_ws() {
+  while (pos_ < text_.size() &&
+         std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+    ++pos_;
+  }
+}
+
+char JsonParser::peek() {
+  skip_ws();
+  if (pos_ >= text_.size()) fail("unexpected end");
+  return text_[pos_];
+}
+
+void JsonParser::expect(char c) {
+  if (peek() != c) fail(std::string("expected '") + c + "'");
+  ++pos_;
+}
+
+bool JsonParser::consume_literal(const char* lit) {
+  const std::size_t n = std::string(lit).size();
+  if (text_.compare(pos_, n, lit) == 0) {
+    pos_ += n;
+    return true;
+  }
+  return false;
+}
+
+JsonValue JsonParser::parse_value() {
+  const char c = peek();
+  if (c == '{') return parse_object();
+  if (c == '[') return parse_array();
+  if (c == '"') {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kString;
+    v.str = parse_string();
+    return v;
+  }
+  JsonValue v;
+  if (consume_literal("true")) {
+    v.kind = JsonValue::Kind::kBool;
+    v.boolean = true;
+    return v;
+  }
+  if (consume_literal("false")) {
+    v.kind = JsonValue::Kind::kBool;
+    return v;
+  }
+  if (consume_literal("null")) return v;
+  // Non-finite doubles have no JSON representation; emitters that stream
+  // them raw produce exactly these tokens (optionally signed). Name the
+  // failure instead of falling through to a generic number error.
+  for (const char* bad : {"nan", "NaN", "-nan", "-NaN", "inf", "Infinity",
+                          "-inf", "-Infinity"}) {
+    if (consume_literal(bad)) fail("non-finite literal is not valid JSON");
+  }
+  return parse_number();
+}
+
+std::string JsonParser::parse_string() {
+  expect('"');
+  std::string s;
+  while (pos_ < text_.size() && text_[pos_] != '"') {
+    char c = text_[pos_++];
+    if (c == '\\') {
+      if (pos_ >= text_.size()) fail("bad escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case 'n': c = '\n'; break;
+        case 't': c = '\t'; break;
+        case 'r': c = '\r'; break;
+        case 'b': c = '\b'; break;
+        case 'f': c = '\f'; break;
+        case 'u':
+          // Validation only needs structural fidelity, not code points.
+          if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+          pos_ += 4;
+          c = '?';
+          break;
+        default: c = e; break;
+      }
+    }
+    s += c;
+  }
+  if (pos_ >= text_.size()) fail("unterminated string");
+  ++pos_;  // closing quote
+  return s;
+}
+
+JsonValue JsonParser::parse_number() {
+  const std::size_t start = pos_;
+  if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+    ++pos_;
+  }
+  while (pos_ < text_.size() &&
+         (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+          text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+          text_[pos_] == '+' || text_[pos_] == '-')) {
+    ++pos_;
+  }
+  if (pos_ == start) fail("expected a value");
+  JsonValue v;
+  v.kind = JsonValue::Kind::kNumber;
+  try {
+    v.number = std::stod(text_.substr(start, pos_ - start));
+  } catch (const std::exception&) {
+    fail("bad number");
+  }
+  // stod accepts "inf"/"nan" spellings and saturates huge exponents like
+  // 1e999 to infinity without throwing on all platforms — reject both.
+  if (!std::isfinite(v.number)) fail("non-finite number");
+  return v;
+}
+
+JsonValue JsonParser::parse_array() {
+  expect('[');
+  JsonValue v;
+  v.kind = JsonValue::Kind::kArray;
+  if (peek() == ']') {
+    ++pos_;
+    return v;
+  }
+  for (;;) {
+    v.array.push_back(parse_value());
+    const char c = peek();
+    ++pos_;
+    if (c == ']') return v;
+    if (c != ',') fail("expected ',' or ']'");
+  }
+}
+
+JsonValue JsonParser::parse_object() {
+  expect('{');
+  JsonValue v;
+  v.kind = JsonValue::Kind::kObject;
+  if (peek() == '}') {
+    ++pos_;
+    return v;
+  }
+  for (;;) {
+    const std::string key = parse_string();
+    expect(':');
+    v.object[key] = parse_value();
+    const char c = peek();
+    ++pos_;
+    if (c == '}') return v;
+    if (c != ',') fail("expected ',' or '}'");
+  }
+}
+
+JsonValue parse_json(const std::string& text) {
+  return JsonParser(text).parse();
+}
+
+}  // namespace emc::util

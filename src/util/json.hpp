@@ -1,0 +1,62 @@
+#pragma once
+
+// Minimal strict JSON parser used to validate the machine-readable
+// artifacts the benches emit (Chrome traces, BENCH_*.json reports).
+//
+// Strictness is the point: invalid documents (trailing garbage,
+// unterminated strings) and — deliberately — the non-finite number
+// literals some emitters produce (`nan`, `inf`, `NaN`, `Infinity`, an
+// overflowing exponent) are rejected with std::runtime_error, so a
+// report containing an unguarded NaN/Inf fails its smoke gate instead
+// of silently shipping a file no JSON consumer can read.
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace emc::util {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool has(const std::string& key) const {
+    return kind == Kind::kObject && object.count(key) > 0;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  /// Parses the whole document; throws std::runtime_error on any error,
+  /// including non-finite number literals.
+  JsonValue parse();
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const;
+  void skip_ws();
+  char peek();
+  void expect(char c);
+  bool consume_literal(const char* lit);
+
+  JsonValue parse_value();
+  std::string parse_string();
+  JsonValue parse_number();
+  JsonValue parse_array();
+  JsonValue parse_object();
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+/// Convenience: parses `text`, returning the document. Throws
+/// std::runtime_error on invalid JSON.
+JsonValue parse_json(const std::string& text);
+
+}  // namespace emc::util

@@ -4,9 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "chem/scf.hpp"
 #include "core/distributed_fock.hpp"
 #include "pgas/runtime.hpp"
+#include "util/metrics.hpp"
 
 namespace {
 
@@ -117,6 +120,60 @@ TEST_F(DistributedFockTest, RejectsWrongDensityShape) {
   DistributedFockBuilder builder(basis, runtime);
   EXPECT_THROW(builder.build_g(linalg::Matrix(2, 2)),
                std::invalid_argument);
+}
+
+TEST_F(DistributedFockTest, FaultInjectedBuildIsBitwiseIdentical) {
+  // Faults cost time, never accuracy: with task re-execution and
+  // dropped/retried one-sided ops switched on, the G matrix must equal
+  // the fault-free build BITWISE. 2 ranks + the static model keep the
+  // accumulate ordering bitwise-commutative, so no tolerance is needed.
+  const auto n = static_cast<std::size_t>(basis.function_count());
+  linalg::Matrix density(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      density(i, j) = (i == j ? 1.0 : 0.03);
+    }
+  }
+
+  DistributedFockOptions options;
+  options.model = ExecModel::kStatic;
+  options.static_balancer = "lpt";
+  pgas::Runtime clean_runtime(2);
+  DistributedFockBuilder clean(basis, clean_runtime, options);
+  const linalg::Matrix g_clean = clean.build_g(density);
+  EXPECT_EQ(clean.last_task_reexecutions(), 0);
+
+  pgas::CommCostModel faulty_cost;
+  faulty_cost.drop_prob = 0.2;
+  faulty_cost.retry_backoff_ns = 50;
+  pgas::Runtime faulty_runtime(2, faulty_cost);
+  DistributedFockOptions faulty_options = options;
+  faulty_options.task_faults.fail_prob = 0.3;
+  faulty_options.task_faults.reexec_delay_ns = 200;
+  util::MetricsRegistry registry;
+  faulty_options.metrics = &registry;
+  DistributedFockBuilder faulty(basis, faulty_runtime, faulty_options);
+  const linalg::Matrix g_faulty = faulty.build_g(density);
+
+  // fail_prob = 0.3 over the water task set re-executes something
+  // (deterministic hash — stable for this seed).
+  EXPECT_GT(faulty.last_task_reexecutions(), 0);
+  EXPECT_EQ(registry.counter("fock/task_reexecutions").value(),
+            faulty.last_task_reexecutions());
+  EXPECT_EQ(std::memcmp(g_clean.data(), g_faulty.data(),
+                        n * n * sizeof(double)),
+            0);
+
+  // The same faulted configuration replays to the same answer.
+  pgas::Runtime replay_runtime(2, faulty_cost);
+  faulty_options.metrics = nullptr;
+  DistributedFockBuilder replay(basis, replay_runtime, faulty_options);
+  const linalg::Matrix g_replay = replay.build_g(density);
+  EXPECT_EQ(replay.last_task_reexecutions(),
+            faulty.last_task_reexecutions());
+  EXPECT_EQ(std::memcmp(g_faulty.data(), g_replay.data(),
+                        n * n * sizeof(double)),
+            0);
 }
 
 }  // namespace

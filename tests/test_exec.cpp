@@ -103,6 +103,47 @@ TEST(WsDequeTest, ConcurrentTheftExactlyOnce) {
   }
 }
 
+TEST(WsDequeTest, OwnerVsThiefLastElementRace) {
+  // Stress the one-element case specifically: the owner pushes a single
+  // item and immediately pops it while a thief hammers steal(), so
+  // nearly every round exercises the t == b CAS race in pop(). Each
+  // item must be consumed by exactly one side — a regression guard for
+  // the lost-race branch (which once carried a dead `value = -1` store).
+  const std::int64_t n = 100000;
+  WsDeque d(2);
+  std::vector<std::atomic<int>> seen(static_cast<std::size_t>(n));
+  std::atomic<bool> done{false};
+  std::atomic<std::int64_t> consumed{0};
+
+  std::thread thief([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      if (auto v = d.steal()) {
+        seen[static_cast<std::size_t>(*v)].fetch_add(1);
+        consumed.fetch_add(1);
+      }
+    }
+    while (auto v = d.steal()) {
+      seen[static_cast<std::size_t>(*v)].fetch_add(1);
+      consumed.fetch_add(1);
+    }
+  });
+
+  for (std::int64_t i = 0; i < n; ++i) {
+    d.push(i);
+    if (auto v = d.pop()) {
+      seen[static_cast<std::size_t>(*v)].fetch_add(1);
+      consumed.fetch_add(1);
+    }
+  }
+  done.store(true, std::memory_order_release);
+  thief.join();
+
+  EXPECT_EQ(consumed.load(), n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(seen[static_cast<std::size_t>(i)].load(), 1) << "item " << i;
+  }
+}
+
 class SchedulerFixture : public ::testing::Test {
  protected:
   static constexpr std::int64_t kTasks = 500;

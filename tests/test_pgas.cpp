@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <numeric>
 #include <vector>
@@ -220,6 +221,101 @@ TEST(CommCostModelTest, TransferCostComposition) {
 TEST(InjectDelayTest, ZeroIsNoop) {
   inject_delay(0);  // must return immediately
   SUCCEED();
+}
+
+TEST(RetryTest, DisabledFaultsAreFreeAndDeterministic) {
+  CommCostModel cost;  // drop_prob 0: faults off
+  EXPECT_FALSE(cost.faults_enabled());
+  EXPECT_EQ(resolve_with_retries(cost, 0, 0, 0), 0);
+  EXPECT_EQ(resolve_with_retries(cost, 3, 99, 1000), 0);
+}
+
+TEST(RetryTest, DropDecisionsReplayFromTheSeed) {
+  CommCostModel cost;
+  cost.drop_prob = 0.5;
+  cost.retry_backoff_ns = 0;
+  std::vector<int> first, second;
+  for (std::uint64_t seq = 0; seq < 64; ++seq) {
+    first.push_back(resolve_with_retries(cost, 1, seq, 0));
+  }
+  for (std::uint64_t seq = 0; seq < 64; ++seq) {
+    second.push_back(resolve_with_retries(cost, 1, seq, 0));
+  }
+  EXPECT_EQ(first, second);
+  // With p = 0.5 over 64 ops some must retry and some must not.
+  EXPECT_TRUE(std::any_of(first.begin(), first.end(),
+                          [](int r) { return r > 0; }));
+  EXPECT_TRUE(std::any_of(first.begin(), first.end(),
+                          [](int r) { return r == 0; }));
+  // A different seed reshuffles the stream.
+  CommCostModel other = cost;
+  other.fault_seed = cost.fault_seed + 1;
+  std::vector<int> reseeded;
+  for (std::uint64_t seq = 0; seq < 64; ++seq) {
+    reseeded.push_back(resolve_with_retries(other, 1, seq, 0));
+  }
+  EXPECT_NE(first, reseeded);
+}
+
+TEST(RetryTest, CertainDropTimesOut) {
+  CommCostModel cost;
+  cost.drop_prob = 1.0;  // every attempt dropped
+  cost.max_attempts = 3;
+  cost.retry_backoff_ns = 0;
+  EXPECT_THROW(resolve_with_retries(cost, 0, 0, 0),
+               std::runtime_error);
+}
+
+TEST(RetryTest, GlobalCounterRetriesAreCountedAndValuesStayUnique) {
+  CommCostModel cost;
+  cost.drop_prob = 0.3;
+  cost.retry_backoff_ns = 0;
+  emc::util::MetricsRegistry registry;
+  GlobalCounter counter;
+  counter.attach_metrics(registry, 4);
+
+  Runtime runtime(4, cost);
+  constexpr int kGrabs = 50;
+  std::vector<std::atomic<int>> taken(4 * kGrabs);
+  runtime.run([&](Context& ctx) {
+    for (int i = 0; i < kGrabs; ++i) {
+      const std::int64_t v =
+          counter.fetch_add(1, ctx.cost_model(), ctx.rank());
+      taken[static_cast<std::size_t>(v)].fetch_add(1);
+    }
+  });
+  // Retries never duplicate or lose a fetch-add.
+  for (const auto& t : taken) EXPECT_EQ(t.load(), 1);
+  EXPECT_EQ(registry.counter("pgas/nxtval_ops").value(), 4 * kGrabs);
+  // p = 0.3 over 200 ops: some retries are certain for this seed.
+  EXPECT_GT(registry.counter("pgas/nxtval_retries").value(), 0);
+}
+
+TEST(RetryTest, GlobalArrayFaultsDelayButNeverCorrupt) {
+  CommCostModel cost;
+  cost.drop_prob = 0.4;
+  cost.retry_backoff_ns = 0;
+  emc::util::MetricsRegistry registry;
+  GlobalArray ga(16, 16, 2);
+  ga.set_metrics(&registry);
+
+  std::vector<double> patch(16 * 16);
+  for (std::size_t i = 0; i < patch.size(); ++i) {
+    patch[i] = static_cast<double>(i);
+  }
+  ga.put(0, 0, 0, 16, 16, patch, cost);
+  ga.accumulate(1, 0, 0, 16, 16, patch, cost);
+  std::vector<double> out(16 * 16, -1.0);
+  for (int round = 0; round < 16; ++round) {
+    ga.get(round % 2, 0, 0, 16, 16, out, cost);
+  }
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out[i], 2.0 * static_cast<double>(i)) << i;
+  }
+  const std::int64_t retries =
+      registry.counter("pgas/r0/op_retries").value() +
+      registry.counter("pgas/r1/op_retries").value();
+  EXPECT_GT(retries, 0);  // p = 0.4 over 18 ops, certain for this seed
 }
 
 }  // namespace

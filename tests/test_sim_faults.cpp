@@ -1,0 +1,304 @@
+// Tests for the fault-injection layer: the same MachineConfig::seed and
+// FaultModel must replay to an identical simulation (makespan, trace,
+// retry counts) for every simulator; stalls must lose work (longer
+// makespans, re-execution events); the model must validate its inputs;
+// and fault events must satisfy the same trace invariants as everything
+// else.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "lb/simple.hpp"
+#include "sim/simulators.hpp"
+#include "sim/trace.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace emc::sim;
+using emc::lb::Assignment;
+
+std::vector<double> skewed_costs(std::size_t n, std::uint64_t seed) {
+  emc::Rng rng(seed);
+  std::vector<double> costs(n);
+  for (auto& c : costs) c = std::exp(rng.uniform(-9.0, -4.0));
+  return costs;
+}
+
+MachineConfig faulted_machine(int procs, std::uint64_t seed) {
+  MachineConfig c;
+  c.n_procs = procs;
+  c.procs_per_node = 8;
+  c.record_trace = true;
+  c.seed = seed;
+  c.faults.fault_prob = 0.5;
+  c.faults.onset_min = 0.0;
+  c.faults.onset_max = 2e-4;
+  c.faults.duration = 2e-4;
+  c.faults.slowdown_factor = 0.0;  // stall: in-flight work is lost
+  c.faults.drop_prob = 0.2;
+  c.faults.outage_start = 1e-4;
+  c.faults.outage_duration = 1e-4;
+  return c;
+}
+
+struct NamedSim {
+  const char* name;
+  std::function<SimResult(const MachineConfig&)> run;
+};
+
+std::vector<NamedSim> all_simulators(const std::vector<double>& costs,
+                                     int procs) {
+  const Assignment block = emc::lb::block_assignment(costs.size(), procs);
+  return {
+      {"static",
+       [&costs, block](const MachineConfig& c) {
+         return simulate_static(c, costs, block);
+       }},
+      {"counter",
+       [&costs](const MachineConfig& c) {
+         return simulate_counter(c, costs, 4);
+       }},
+      {"hier",
+       [&costs](const MachineConfig& c) {
+         return simulate_hierarchical_counter(c, costs, 16, 2);
+       }},
+      {"hybrid",
+       [&costs, block](const MachineConfig& c) {
+         return simulate_hybrid(c, costs, block, 0.5, 2);
+       }},
+      {"ws",
+       [&costs, block](const MachineConfig& c) {
+         return simulate_work_stealing(c, costs, block);
+       }},
+  };
+}
+
+void expect_identical(const SimResult& a, const SimResult& b,
+                      const char* name) {
+  EXPECT_EQ(a.makespan, b.makespan) << name;
+  EXPECT_EQ(a.op_retries, b.op_retries) << name;
+  EXPECT_EQ(a.tasks_reexecuted, b.tasks_reexecuted) << name;
+  EXPECT_EQ(a.steals, b.steals) << name;
+  EXPECT_EQ(a.counter_ops, b.counter_ops) << name;
+  ASSERT_EQ(a.trace.size(), b.trace.size()) << name;
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].type, b.trace[i].type) << name << " event " << i;
+    EXPECT_EQ(a.trace[i].proc, b.trace[i].proc) << name << " event " << i;
+    EXPECT_EQ(a.trace[i].task, b.trace[i].task) << name << " event " << i;
+    EXPECT_EQ(a.trace[i].start, b.trace[i].start) << name << " event " << i;
+    EXPECT_EQ(a.trace[i].end, b.trace[i].end) << name << " event " << i;
+  }
+}
+
+std::size_t count_type(const SimResult& r, TraceEventType type) {
+  std::size_t n = 0;
+  for (const TraceEvent& ev : r.trace) {
+    if (ev.type == type) ++n;
+  }
+  return n;
+}
+
+TEST(FaultDeterminism, SameSeedSameModelReplaysIdentically) {
+  const auto costs = skewed_costs(400, 211);
+  const MachineConfig config = faulted_machine(16, 9);
+  for (const NamedSim& sim : all_simulators(costs, 16)) {
+    expect_identical(sim.run(config), sim.run(config), sim.name);
+  }
+}
+
+TEST(FaultDeterminism, DifferentSeedsDivergeSomewhere) {
+  const auto costs = skewed_costs(400, 211);
+  const MachineConfig a = faulted_machine(16, 9);
+  const MachineConfig b = faulted_machine(16, 10);
+  // At least one simulator must see different fault placement; with
+  // fault_prob 0.5 over 16 procs identical draws are ~1e-5 likely.
+  bool any_diverged = false;
+  for (const NamedSim& sim : all_simulators(costs, 16)) {
+    const SimResult ra = sim.run(a);
+    const SimResult rb = sim.run(b);
+    if (ra.makespan != rb.makespan ||
+        ra.trace.size() != rb.trace.size()) {
+      any_diverged = true;
+    }
+  }
+  EXPECT_TRUE(any_diverged);
+}
+
+TEST(FaultInjection, StallsExtendMakespanAndForceReexecution) {
+  const auto costs = skewed_costs(500, 223);
+  MachineConfig clean = faulted_machine(16, 5);
+  clean.faults = FaultModel{};  // benign machine
+  for (const NamedSim& sim : all_simulators(costs, 16)) {
+    const SimResult faulted = sim.run(faulted_machine(16, 5));
+    const SimResult baseline = sim.run(clean);
+    // The static schedule has no way to route around a stall, so its
+    // makespan is monotone in faults. Dynamic models usually degrade
+    // too, but fault-perturbed timing changes grab/steal order and can
+    // occasionally land on a luckier schedule — for them only the
+    // work-conservation bound (makespan >= T1 / P) is an invariant.
+    if (std::string(sim.name) == "static") {
+      EXPECT_GE(faulted.makespan, baseline.makespan) << sim.name;
+    }
+    double total_work = 0.0;
+    for (double c : costs) total_work += c;
+    EXPECT_GE(faulted.makespan, total_work / 16.0) << sim.name;
+    EXPECT_EQ(count_type(faulted, TraceEventType::kTaskReexec),
+              static_cast<std::size_t>(faulted.tasks_reexecuted))
+        << sim.name;
+    EXPECT_EQ(baseline.tasks_reexecuted, 0) << sim.name;
+    EXPECT_EQ(baseline.op_retries, 0) << sim.name;
+    // All tasks still executed exactly the work they carry: summed
+    // busy time equals summed cost in both runs (lost work is traced
+    // as kTaskReexec, not counted busy).
+    double busy_faulted = 0.0, busy_clean = 0.0, total = 0.0;
+    for (double b : faulted.busy) busy_faulted += b;
+    for (double b : baseline.busy) busy_clean += b;
+    for (double c : costs) total += c;
+    EXPECT_NEAR(busy_faulted, total, 1e-9) << sim.name;
+    EXPECT_NEAR(busy_clean, total, 1e-9) << sim.name;
+  }
+}
+
+TEST(FaultInjection, FaultWindowsAppearPairedInTrace) {
+  const auto costs = skewed_costs(400, 227);
+  const MachineConfig config = faulted_machine(16, 21);
+  for (const NamedSim& sim : all_simulators(costs, 16)) {
+    const SimResult r = sim.run(config);
+    const std::size_t starts = count_type(r, TraceEventType::kFaultStart);
+    const std::size_t ends = count_type(r, TraceEventType::kFaultEnd);
+    EXPECT_EQ(starts, ends) << sim.name;
+    // fault_prob = 0.5 over 16 procs plus the counter outage: some
+    // window must exist for this seed.
+    EXPECT_GT(starts, 0u) << sim.name;
+  }
+}
+
+TEST(FaultInjection, DropsProduceRetryEventsOnDynamicModels) {
+  const auto costs = skewed_costs(600, 229);
+  MachineConfig config = faulted_machine(16, 33);
+  config.faults.fault_prob = 0.0;  // isolate the drop channel
+  config.faults.outage_start = -1.0;
+  for (const NamedSim& sim : all_simulators(costs, 16)) {
+    const SimResult r = sim.run(config);
+    EXPECT_EQ(count_type(r, TraceEventType::kOpRetry),
+              static_cast<std::size_t>(r.op_retries))
+        << sim.name;
+    // Static has no one-sided round trips to drop.
+    if (std::string(sim.name) == "static") {
+      EXPECT_EQ(r.op_retries, 0);
+    } else {
+      EXPECT_GT(r.op_retries, 0) << sim.name;
+    }
+  }
+}
+
+TEST(FaultSchedule, BoundedRetriesAndBackoffGrowth) {
+  MachineConfig config;
+  config.n_procs = 4;
+  config.faults.drop_prob = 0.999;  // nearly always dropped...
+  config.faults.max_retries = 6;    // ...but never past the cap
+  const FaultSchedule sched(config);
+  EXPECT_FALSE(sched.drop_op(0, 0, config.faults.max_retries));
+  EXPECT_FALSE(sched.drop_op(0, 0, config.faults.max_retries + 3));
+  // Exponential growth with the configured multiplier.
+  EXPECT_DOUBLE_EQ(sched.backoff(0), config.faults.retry_backoff);
+  EXPECT_DOUBLE_EQ(sched.backoff(3),
+                   config.faults.retry_backoff * 8.0);
+}
+
+TEST(FaultSchedule, OutageHoldsArrivalsInsideWindowOnly) {
+  MachineConfig config;
+  config.n_procs = 4;
+  config.faults.outage_start = 1.0;
+  config.faults.outage_duration = 0.5;
+  const FaultSchedule sched(config);
+  EXPECT_DOUBLE_EQ(sched.outage_release(0.9), 0.9);   // before
+  EXPECT_DOUBLE_EQ(sched.outage_release(1.0), 1.5);   // at start
+  EXPECT_DOUBLE_EQ(sched.outage_release(1.49), 1.5);  // inside
+  EXPECT_DOUBLE_EQ(sched.outage_release(1.5), 1.5);   // at end: open
+  EXPECT_DOUBLE_EQ(sched.outage_release(2.0), 2.0);   // after
+}
+
+TEST(FaultSchedule, RejectsMalformedModels) {
+  MachineConfig config;
+  config.n_procs = 4;
+
+  auto with = [&](auto mutate) {
+    MachineConfig c = config;
+    mutate(c.faults);
+    return c;
+  };
+  EXPECT_THROW(FaultSchedule(with([](FaultModel& f) { f.fault_prob = -0.1; })),
+               std::invalid_argument);
+  EXPECT_THROW(FaultSchedule(with([](FaultModel& f) { f.fault_prob = 1.5; })),
+               std::invalid_argument);
+  EXPECT_THROW(FaultSchedule(with([](FaultModel& f) { f.drop_prob = 1.0; })),
+               std::invalid_argument);
+  EXPECT_THROW(FaultSchedule(with([](FaultModel& f) {
+                 f.fault_prob = 0.5;
+                 f.onset_min = 2.0;
+                 f.onset_max = 1.0;
+               })),
+               std::invalid_argument);
+  EXPECT_THROW(FaultSchedule(with([](FaultModel& f) {
+                 f.fault_prob = 0.5;
+                 f.duration = -1.0;
+               })),
+               std::invalid_argument);
+  EXPECT_THROW(
+      FaultSchedule(with([](FaultModel& f) { f.slowdown_factor = 1.5; })),
+      std::invalid_argument);
+  EXPECT_THROW(
+      FaultSchedule(with([](FaultModel& f) {
+        f.drop_prob = 0.1;
+        f.max_retries = 0;
+      })),
+      std::invalid_argument);
+  EXPECT_THROW(
+      FaultSchedule(with([](FaultModel& f) {
+        f.drop_prob = 0.1;
+        f.retry_backoff = -1e-6;
+      })),
+      std::invalid_argument);
+  EXPECT_THROW(
+      FaultSchedule(with([](FaultModel& f) {
+        f.outage_start = 1.0;
+        f.outage_duration = -0.5;
+      })),
+      std::invalid_argument);
+  // The benign model is fine and inactive.
+  EXPECT_FALSE(FaultSchedule(config).active());
+}
+
+TEST(FaultInjection, SlowdownWithoutStallDilatesButNeverReexecutes) {
+  const auto costs = skewed_costs(400, 233);
+  MachineConfig config = faulted_machine(16, 77);
+  config.faults.slowdown_factor = 0.5;  // half speed, no lost work
+  config.faults.drop_prob = 0.0;
+  config.faults.outage_start = -1.0;
+  for (const NamedSim& sim : all_simulators(costs, 16)) {
+    const SimResult r = sim.run(config);
+    EXPECT_EQ(r.tasks_reexecuted, 0) << sim.name;
+    EXPECT_EQ(count_type(r, TraceEventType::kTaskReexec), 0u) << sim.name;
+  }
+}
+
+TEST(FaultInjection, TraceStaysInsideMakespanWithFaults) {
+  const auto costs = skewed_costs(300, 239);
+  const MachineConfig config = faulted_machine(8, 13);
+  for (const NamedSim& sim : all_simulators(costs, 8)) {
+    const SimResult r = sim.run(config);
+    for (const TraceEvent& ev : r.trace) {
+      EXPECT_GE(ev.start, 0.0) << sim.name;
+      EXPECT_LE(ev.start, ev.end + 1e-12) << sim.name;
+      EXPECT_LE(ev.end, r.makespan + 1e-12) << sim.name;
+    }
+  }
+}
+
+}  // namespace

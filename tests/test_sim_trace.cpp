@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <vector>
@@ -305,6 +306,26 @@ TEST(Timeline, RejectsEmptyTraceAndBadArgs) {
                std::invalid_argument);
   EXPECT_THROW(utilization_timeline(one_task, 1.0, 0, 10),
                std::invalid_argument);
+}
+
+TEST(Timeline, RejectsNonPositiveOrNonFiniteMakespan) {
+  // Regression: makespan == 0 used to produce a zero bin width, so
+  // ev.start / width was NaN/Inf and its cast to int undefined behavior.
+  std::vector<TraceEvent> one_task(1);
+  one_task[0].type = TraceEventType::kTaskExec;
+  one_task[0].end = 0.5;
+  EXPECT_THROW(utilization_timeline(one_task, 0.0, 4, 10),
+               std::invalid_argument);
+  EXPECT_THROW(utilization_timeline(one_task, -1.0, 4, 10),
+               std::invalid_argument);
+  EXPECT_THROW(
+      utilization_timeline(
+          one_task, std::numeric_limits<double>::quiet_NaN(), 4, 10),
+      std::invalid_argument);
+  EXPECT_THROW(
+      utilization_timeline(
+          one_task, std::numeric_limits<double>::infinity(), 4, 10),
+      std::invalid_argument);
 }
 
 TEST(Recording, DisabledMeansNoEventsAndIdenticalResults) {

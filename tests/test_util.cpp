@@ -5,10 +5,13 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <limits>
 #include <set>
 #include <sstream>
 
+#include "bench_common.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
 #include "util/log.hpp"
 #include "util/metrics.hpp"
 #include "util/rng.hpp"
@@ -404,6 +407,69 @@ TEST(MetricsTest, HistogramBinsCoverWideRange) {
   EXPECT_EQ(total, 2);
   EXPECT_GT(emc::util::Histogram::bin_lower_bound(1),
             emc::util::Histogram::bin_lower_bound(0));
+}
+
+TEST(JsonParserTest, ParsesStructuredDocument) {
+  const emc::util::JsonValue doc = emc::util::parse_json(
+      R"({"name": "run", "ok": true, "skip": null,
+          "nums": [1, -2.5, 3e2], "nest": {"k": "v\n"}})");
+  using Kind = emc::util::JsonValue::Kind;
+  ASSERT_EQ(doc.kind, Kind::kObject);
+  EXPECT_EQ(doc.object.at("name").str, "run");
+  EXPECT_TRUE(doc.object.at("ok").boolean);
+  EXPECT_EQ(doc.object.at("skip").kind, Kind::kNull);
+  const auto& nums = doc.object.at("nums").array;
+  ASSERT_EQ(nums.size(), 3u);
+  EXPECT_DOUBLE_EQ(nums[0].number, 1.0);
+  EXPECT_DOUBLE_EQ(nums[1].number, -2.5);
+  EXPECT_DOUBLE_EQ(nums[2].number, 300.0);
+  EXPECT_EQ(doc.object.at("nest").object.at("k").str, "v\n");
+}
+
+TEST(JsonParserTest, RejectsMalformedDocuments) {
+  EXPECT_THROW(emc::util::parse_json("{\"a\": 1"), std::runtime_error);
+  EXPECT_THROW(emc::util::parse_json("{\"a\" 1}"), std::runtime_error);
+  EXPECT_THROW(emc::util::parse_json("[1, 2] trailing"),
+               std::runtime_error);
+  EXPECT_THROW(emc::util::parse_json("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(emc::util::parse_json(""), std::runtime_error);
+  EXPECT_THROW(emc::util::parse_json("{\"a\": bogus}"), std::runtime_error);
+}
+
+TEST(JsonParserTest, RejectsNonFiniteNumberLiterals) {
+  // The tokens unguarded C++ emitters actually stream for NaN/Inf, plus
+  // an exponent that overflows to infinity inside strtod.
+  for (const char* bad :
+       {"nan", "-nan", "NaN", "inf", "-inf", "Infinity", "-Infinity",
+        "[1, nan]", "{\"x\": inf}", "1e999"}) {
+    EXPECT_THROW(emc::util::parse_json(bad), std::runtime_error)
+        << "accepted: " << bad;
+  }
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesEmitNull) {
+  std::ostringstream out;
+  emc::bench::JsonWriter w(out);
+  w.begin_object();
+  w.field("finite", 1.5);
+  w.field("not_a_number", std::numeric_limits<double>::quiet_NaN());
+  w.field("too_big", std::numeric_limits<double>::infinity());
+  w.begin_array("series");
+  w.value(0.25);
+  w.value(-std::numeric_limits<double>::infinity());
+  w.end_array();
+  w.end_object();
+
+  // The strict parser is the oracle: a raw nan/inf token would throw.
+  using Kind = emc::util::JsonValue::Kind;
+  const emc::util::JsonValue doc = emc::util::parse_json(out.str());
+  EXPECT_DOUBLE_EQ(doc.object.at("finite").number, 1.5);
+  EXPECT_EQ(doc.object.at("not_a_number").kind, Kind::kNull);
+  EXPECT_EQ(doc.object.at("too_big").kind, Kind::kNull);
+  const auto& series = doc.object.at("series").array;
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[0].number, 0.25);
+  EXPECT_EQ(series[1].kind, Kind::kNull);
 }
 
 }  // namespace
