@@ -4,6 +4,7 @@
 // header every bench prints so runs are self-describing and replayable,
 // and the JSON report writer the artifact-emitting benches share.
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -14,8 +15,22 @@
 
 #include "core/experiment.hpp"
 #include "core/task_model.hpp"
+#include "sim/machine.hpp"
 
 namespace emc::bench {
+
+/// Machine setup shared by every bench driver. `ppn > 0` pins the
+/// procs-per-node (clamped to `procs`, typically from a --ppn flag);
+/// `ppn == 0` keeps the benches' historical default of min(16, procs).
+/// Centralized so the node topology is set one way everywhere and the
+/// network model (MachineConfig::network) is layered on consistently.
+inline sim::MachineConfig make_machine(int procs, int ppn = 0) {
+  sim::MachineConfig config;
+  config.n_procs = procs;
+  config.procs_per_node =
+      ppn > 0 ? std::min(ppn, procs) : std::min(16, procs);
+  return config;
+}
 
 /// Streaming JSON emitter with automatic comma/indent management, shared
 /// by every bench that writes a machine-readable report (BENCH_*.json).

@@ -28,6 +28,7 @@
 // Flags:
 //   --smoke            tiny workload (water, P=8) for CI
 //   --model-procs=P    simulated processors (default 64)
+//   --ppn=N            procs per node (default min(16, procs))
 //   --molecule=NAME    workload molecule (default water27)
 //   --report=PATH      JSON report output (default BENCH_faults.json)
 //
@@ -64,6 +65,7 @@ struct Options {
   bool smoke = false;
   std::string molecule = "water27";
   int procs = 64;
+  int ppn = 0;  ///< 0 = make_machine default of min(16, procs)
   std::string report_path = "BENCH_faults.json";
 };
 
@@ -198,9 +200,7 @@ int run(const Options& opt) {
   for (double c : costs) total_cost += c;
   const double ideal = total_cost / opt.procs;
 
-  MachineConfig base;
-  base.n_procs = opt.procs;
-  base.procs_per_node = std::min(16, opt.procs);
+  MachineConfig base = emc::bench::make_machine(opt.procs, opt.ppn);
   base.record_trace = true;
   base.seed = 42;
 
@@ -379,6 +379,8 @@ int main(int argc, char** argv) {
       opt.procs = 8;
     } else if (arg.rfind("--model-procs=", 0) == 0) {
       opt.procs = std::stoi(arg.substr(14));
+    } else if (arg.rfind("--ppn=", 0) == 0) {
+      opt.ppn = std::stoi(arg.substr(6));
     } else if (arg.rfind("--molecule=", 0) == 0) {
       opt.molecule = arg.substr(11);
     } else if (arg.rfind("--report=", 0) == 0) {

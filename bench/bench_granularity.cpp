@@ -54,8 +54,7 @@ int main() {
       "too-coarse pays imbalance, too-fine pays per-unit overheads",
       model);
 
-  sim::MachineConfig machine;
-  machine.n_procs = 256;
+  sim::MachineConfig machine = emc::bench::make_machine(256);
   // Per-unit costs of a GA-class runtime: task dispatch + the one-sided
   // gets/accumulates every work unit performs.
   machine.task_overhead = 2.0e-6;

@@ -28,8 +28,7 @@ int main() {
 
   double static_base = 0.0, steal_base = 0.0;
   for (double noise : {0.0, 0.05, 0.10, 0.20, 0.30, 0.40}) {
-    sim::MachineConfig machine;
-    machine.n_procs = procs;
+    sim::MachineConfig machine = emc::bench::make_machine(procs);
     machine.noise_amplitude = noise;
 
     const double st =

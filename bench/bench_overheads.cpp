@@ -26,8 +26,7 @@ int main() {
   counter_table.set_precision(3);
 
   for (int p : {16, 32, 64, 128, 256, 512, 1024}) {
-    sim::MachineConfig machine;
-    machine.n_procs = p;
+    sim::MachineConfig machine = emc::bench::make_machine(p);
 
     const auto block = lb::block_assignment(model.task_count(), p);
     const sim::SimResult ws =
@@ -55,8 +54,7 @@ int main() {
   // Steal provenance at a representative scale: where stolen work comes
   // from (on-node vs off-node), plus the critical-path anatomy — both
   // derived from the typed trace of the same run.
-  sim::MachineConfig traced;
-  traced.n_procs = 64;
+  sim::MachineConfig traced = emc::bench::make_machine(64);
   traced.record_trace = true;
   const auto block64 = lb::block_assignment(model.task_count(), 64);
   const sim::SimResult ws64 =

@@ -21,8 +21,7 @@ int main() {
       "retention drives steal traffic toward zero across iterations",
       model);
 
-  sim::MachineConfig machine;
-  machine.n_procs = 256;
+  sim::MachineConfig machine = emc::bench::make_machine(256);
   const auto block = lb::block_assignment(model.task_count(), 256);
   const int iterations = 10;
 

@@ -21,8 +21,7 @@ int main() {
       "execution-model design choices trade overhead against imbalance",
       model);
 
-  sim::MachineConfig machine;
-  machine.n_procs = 256;
+  sim::MachineConfig machine = emc::bench::make_machine(256);
 
   Table table({"policy", "makespan_ms", "utilization_pct", "counter_ops",
                "steals", "steal_or_counter_wait_ms"});

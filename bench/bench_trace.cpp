@@ -17,6 +17,7 @@
 //   --smoke            tiny workload (water, P=8, 2 ranks) for CI
 //   --model=NAME       static | counter | hier | hybrid | ws (default ws)
 //   --procs=P          simulated processors (default 64)
+//   --ppn=N            procs per node (default min(16, procs))
 //   --molecule=NAME    workload molecule (default water27)
 //   --measured         measure task costs instead of the analytic model
 //   --iterations=N     retentive rounds; >1 merges round traces (default 1)
@@ -99,6 +100,7 @@ struct Options {
   std::string model = "ws";
   std::string molecule = "water27";
   int procs = 64;
+  int ppn = 0;  ///< 0 = make_machine default of min(16, procs)
   int ranks = 4;
   int iterations = 1;
   std::int64_t chunk = 4;
@@ -115,9 +117,7 @@ struct SimRun {
 
 SimRun run_simulation(const Options& opt,
                       std::span<const double> costs) {
-  MachineConfig config;
-  config.n_procs = opt.procs;
-  config.procs_per_node = std::min(16, opt.procs);
+  MachineConfig config = emc::bench::make_machine(opt.procs, opt.ppn);
   config.record_trace = true;
   const auto block = lb::block_assignment(costs.size(), opt.procs);
 
@@ -215,7 +215,9 @@ int run(const Options& opt) {
       std::cerr << "FAIL: cannot write " << opt.trace_path << "\n";
       return 1;
     }
-    write_chrome_trace(out, trace, std::min(16, opt.procs));
+    write_chrome_trace(
+        out, trace,
+        emc::bench::make_machine(opt.procs, opt.ppn).procs_per_node);
   }
   const std::int64_t chrome_events = validate_chrome_trace(opt.trace_path);
   if (chrome_events < 0) return 1;
@@ -312,6 +314,8 @@ int main(int argc, char** argv) {
       opt.molecule = arg.substr(11);
     } else if (arg.rfind("--procs=", 0) == 0) {
       opt.procs = std::stoi(arg.substr(8));
+    } else if (arg.rfind("--ppn=", 0) == 0) {
+      opt.ppn = std::stoi(arg.substr(6));
     } else if (arg.rfind("--ranks=", 0) == 0) {
       opt.ranks = std::stoi(arg.substr(8));
     } else if (arg.rfind("--iterations=", 0) == 0) {

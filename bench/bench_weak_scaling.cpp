@@ -31,8 +31,7 @@ int main() {
     const core::TaskModel model =
         core::build_task_model("water" + std::to_string(waters));
 
-    sim::MachineConfig machine;
-    machine.n_procs = p;
+    sim::MachineConfig machine = emc::bench::make_machine(p);
 
     const auto lpt = lb::lpt_assignment(model.costs, p);
     const auto block = lb::block_assignment(model.task_count(), p);

@@ -54,6 +54,24 @@ int shell_owner(int shell, int n_shells, int n_procs) {
                           n_shells);
 }
 
+std::size_t mean_task_comm_bytes(const TaskModel& model) {
+  if (model.tasks.empty()) return 0;
+  const auto& shells = model.basis.shells();
+  const double n = static_cast<double>(model.basis.function_count());
+  double elements = 0.0;
+  for (const chem::ShellPairTask& task : model.tasks) {
+    const double di =
+        shells[static_cast<std::size_t>(task.si)].function_count();
+    const double dj =
+        shells[static_cast<std::size_t>(task.sj)].function_count();
+    // Density rows for shells i and j fetched, plus the same J and K
+    // stripes accumulated back: 2 stripes each way.
+    elements += 2.0 * (di + dj) * n;
+  }
+  return static_cast<std::size_t>(
+      8.0 * elements / static_cast<double>(model.tasks.size()));
+}
+
 lb::BipartiteTaskGraph make_locality_instance(const TaskModel& model,
                                               int n_procs, int window) {
   if (n_procs < 1) {

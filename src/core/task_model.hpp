@@ -59,6 +59,13 @@ TaskModel build_task_model(const chem::Molecule& molecule,
 /// the PGAS layer uses.
 int shell_owner(int shell, int n_shells, int n_procs);
 
+/// Mean bytes a task moves when it executes away from its home stripe:
+/// the bra shells' density row-stripes fetched plus the matching J/K
+/// Fock stripes accumulated back, as 8-byte doubles. This is the sized
+/// payload the contention-aware network model (src/net) charges per
+/// dynamically migrated task (NetworkConfig::task_payload_bytes).
+std::size_t mean_task_comm_bytes(const TaskModel& model);
+
 /// Bipartite locality instance for semi-matching: task (i,j) is eligible
 /// on the owners of shells i and j plus `window` neighbouring procs on
 /// each side (window >= n_procs degenerates to the complete instance).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <exception>
 #include <mutex>
 #include <stdexcept>
@@ -46,6 +47,62 @@ std::uint64_t backoff_ns(const CommCostModel& cost, int attempt) {
 }
 
 }  // namespace
+
+CommCostModel CommCostModel::from_topology(const net::NetworkConfig& network,
+                                           int n_ranks, int ranks_per_node,
+                                           double intra_latency_s,
+                                           double inter_latency_s) {
+  if (n_ranks < 1 || ranks_per_node < 1) {
+    throw std::invalid_argument(
+        "CommCostModel::from_topology: bad rank counts");
+  }
+  CommCostModel cost;
+  cost.local_ns =
+      static_cast<std::uint64_t>(std::llround(intra_latency_s * 1e9));
+  if (network.legacy()) {
+    cost.remote_ns =
+        static_cast<std::uint64_t>(std::llround(inter_latency_s * 1e9));
+    cost.counter_ns = 2 * cost.remote_ns;
+    return cost;
+  }
+  const int n_nodes = (n_ranks + ranks_per_node - 1) / ranks_per_node;
+  const net::Topology topology = net::Topology::build(network, n_nodes);
+
+  // Mean hop count and mean per-byte serialization over all distinct
+  // node pairs — the expected route of a one-sided op under a uniform
+  // access pattern. Congestion is not modelled here (threads contend for
+  // real memory bandwidth instead); only the uncongested LogGP terms are.
+  double mean_hops = 0.0;
+  double mean_ser_per_byte = 0.0;
+  int pairs = 0;
+  std::vector<int> path;
+  for (int a = 0; a < n_nodes; ++a) {
+    for (int b = 0; b < n_nodes; ++b) {
+      if (a == b) continue;
+      path.clear();
+      topology.route(a, b, path);
+      mean_hops += static_cast<double>(path.size());
+      if (network.link_bandwidth > 0.0) {
+        for (int link : path) {
+          mean_ser_per_byte +=
+              1.0 / (network.link_bandwidth * topology.link_capacity(link));
+        }
+      }
+      ++pairs;
+    }
+  }
+  if (pairs > 0) {
+    mean_hops /= pairs;
+    mean_ser_per_byte /= pairs;
+  }
+  const double remote_s = inter_latency_s + network.per_message_overhead +
+                          network.per_hop_latency * mean_hops;
+  cost.remote_ns = static_cast<std::uint64_t>(std::llround(remote_s * 1e9));
+  cost.per_byte_ns =
+      static_cast<std::uint64_t>(std::llround(mean_ser_per_byte * 1e9));
+  cost.counter_ns = 2 * cost.remote_ns;
+  return cost;
+}
 
 int resolve_with_retries(const CommCostModel& cost, int rank,
                          std::uint64_t op_seq,

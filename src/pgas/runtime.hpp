@@ -17,6 +17,7 @@
 #include <span>
 #include <vector>
 
+#include "net/topology.hpp"
 #include "util/metrics.hpp"
 
 namespace emc::pgas {
@@ -49,6 +50,20 @@ struct CommCostModel {
   }
 
   bool faults_enabled() const { return drop_prob > 0.0; }
+
+  /// Derives the injected latencies from the same topology description
+  /// the simulator's NetworkModel consumes (src/net), so the threaded
+  /// runtime and the discrete-event simulator price remote operations
+  /// consistently. remote_ns folds in the per-message overhead and the
+  /// topology's mean inter-node hop latency; per_byte_ns is the mean
+  /// route's serialization per byte, rounded to this model's integer-ns
+  /// granularity; counter_ns is one remote round trip. A legacy-flat
+  /// config maps to the plain intra/inter latencies with free bytes.
+  /// Throws std::invalid_argument on a malformed config or rank counts.
+  static CommCostModel from_topology(const net::NetworkConfig& network,
+                                     int n_ranks, int ranks_per_node,
+                                     double intra_latency_s = 0.3e-6,
+                                     double inter_latency_s = 1.5e-6);
 };
 
 /// Busy-waits for the given simulated latency (no-op for 0).

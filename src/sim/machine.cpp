@@ -5,6 +5,13 @@
 
 namespace emc::sim {
 
+net::NetworkModel make_network(const MachineConfig& config) {
+  return net::NetworkModel(config.network, config.n_procs,
+                           config.procs_per_node,
+                           config.intra_node_latency,
+                           config.inter_node_latency);
+}
+
 std::vector<double> draw_core_speeds(const MachineConfig& config) {
   std::vector<double> speeds(static_cast<std::size_t>(config.n_procs), 1.0);
   if (config.noise_amplitude <= 0.0) return speeds;

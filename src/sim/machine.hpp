@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "net/network.hpp"
 #include "sim/trace.hpp"
 #include "util/rng.hpp"
 
@@ -84,16 +85,35 @@ struct MachineConfig {
   /// Fault injection; FaultModel{} (all zeros) means a benign machine.
   FaultModel faults;
 
+  /// Interconnect model (src/net): topology, per-link bandwidth, and
+  /// message sizing. The default legacy-flat config reproduces the seed
+  /// simulator bitwise — link_latency below is its closed form. Anything
+  /// else routes every simulated message over shared links whose
+  /// occupancy serializes concurrent transfers (congestion shows up as
+  /// kLinkWait trace events and SimResult::net_link_wait).
+  net::NetworkConfig network;
+
+  /// When set, each simulate_* run exports its network counters here
+  /// (net/messages, net/link_wait_seconds, net/hottest_link, ...) via
+  /// net::NetworkModel::write_metrics. Not owned; may be null.
+  util::MetricsRegistry* metrics = nullptr;
+
   std::uint64_t seed = 1;
 
   int node_of(int proc) const { return proc / procs_per_node; }
-  /// Latency of a one-sided operation from `from` to `to`.
+  /// Latency floor of a one-sided operation from `from` to `to` — the
+  /// legacy flat model's entire cost, and every topology's uncongested
+  /// endpoint term.
   double link_latency(int from, int to) const {
     if (from == to) return 0.0;
     return node_of(from) == node_of(to) ? intra_node_latency
                                         : inter_node_latency;
   }
 };
+
+/// Builds the stateful per-run network for this machine. Each simulator
+/// constructs one so link occupancy starts empty per run.
+net::NetworkModel make_network(const MachineConfig& config);
 
 /// Per-core speed factors (execution time divides by the factor).
 std::vector<double> draw_core_speeds(const MachineConfig& config);
@@ -163,6 +183,10 @@ struct SimResult {
   double steal_wait = 0.0;               ///< total time spent stealing
   std::int64_t op_retries = 0;           ///< one-sided ops dropped+retried
   std::int64_t tasks_reexecuted = 0;     ///< executions lost to stalls
+  std::int64_t net_messages = 0;         ///< messages through the network
+  std::int64_t net_congested = 0;        ///< messages that queued on a link
+  double net_bytes = 0.0;                ///< payload bytes moved
+  double net_link_wait = 0.0;            ///< total link-queue wait, seconds
   std::vector<TraceEvent> trace;         ///< typed events, if recorded
 
   /// Mean busy fraction = sum(busy) / (P * makespan); EXP-3's metric.

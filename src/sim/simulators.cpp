@@ -92,6 +92,85 @@ double run_task(const MachineConfig& config, const FaultSchedule& faults,
   return done;
 }
 
+/// Data-home proc of a task under the block-stripe distribution the PGAS
+/// layer uses: the proc that owns the density/Fock rows the task reads
+/// and writes, and therefore the source of its payload transfer when the
+/// task runs elsewhere.
+int task_home(std::int64_t task, std::int64_t n_tasks, int n_procs) {
+  if (n_tasks <= 0) return 0;
+  return static_cast<int>(
+      std::min<std::int64_t>(n_procs - 1, task * n_procs / n_tasks));
+}
+
+/// Copies the network's accumulated congestion stats into the result
+/// and, when the machine carries a metrics registry, exports the run's
+/// net/* metrics (per-link occupancy, hottest link, ...).
+void finish_net(const MachineConfig& config, SimResult& result,
+                const net::NetworkModel& network) {
+  const net::NetworkModel::Stats& s = network.stats();
+  result.net_messages = s.messages;
+  result.net_congested = s.congested_messages;
+  result.net_bytes = s.bytes;
+  result.net_link_wait = s.link_wait;
+  if (config.metrics != nullptr) network.write_metrics(*config.metrics);
+}
+
+/// Models the data movement behind a dynamically acquired chunk: tasks
+/// [first, first + count) grabbed by `proc` at `ready` pull their
+/// density/Fock blocks from the chunk's home stripe as one sized message
+/// (task_payload_bytes per task). Returns the time the data is local and
+/// execution can start. No-op (returns `ready`) for the legacy model,
+/// zero payload, or home-local chunks — so the seed cost structure is
+/// untouched unless payload modelling is switched on.
+double fetch_task_payload(const MachineConfig& config,
+                          net::NetworkModel& network, SimResult& result,
+                          int proc, std::int64_t first, std::int64_t count,
+                          std::int64_t n_tasks, double ready) {
+  if (network.legacy() || config.network.task_payload_bytes == 0 ||
+      count <= 0) {
+    return ready;
+  }
+  const int home = task_home(first, n_tasks, config.n_procs);
+  if (home == proc) return ready;
+  const std::size_t bytes =
+      config.network.task_payload_bytes * static_cast<std::size_t>(count);
+  // Request travels proc -> home uncongested (it is control-sized); the
+  // data message home -> proc is the one that occupies links.
+  const double request = ready + network.base_latency(proc, home);
+  double wait = 0.0;
+  const double arrival = network.send(home, proc, request, bytes, &wait);
+  if (config.record_trace) {
+    record(result, TraceEventType::kNetTransfer, proc, ready, arrival,
+           first, home);
+    if (wait > 0.0) {
+      record(result, TraceEventType::kLinkWait, proc, request,
+             request + wait, first, home);
+    }
+  }
+  return arrival;
+}
+
+/// Counter-family event heap entry. kIssue pops book the proc's request
+/// into the network — pops are globally time-ordered, which keeps link
+/// occupancy consistent even though request *arrivals* interleave —
+/// and push the matching kArrival. The (time, proc, kind) tie-break
+/// extends the seed's (arrival, proc) ordering, so arrivals are served
+/// in exactly the seed order and legacy runs stay bitwise identical.
+enum class CounterEv : std::uint8_t { kIssue = 0, kArrival = 1 };
+
+struct CounterEvent {
+  double time = 0.0;
+  int proc = 0;
+  CounterEv kind = CounterEv::kIssue;
+
+  bool operator>(const CounterEvent& o) const {
+    return std::tie(time, proc, kind) > std::tie(o.time, o.proc, o.kind);
+  }
+};
+
+using CounterHeap = std::priority_queue<
+    CounterEvent, std::vector<CounterEvent>, std::greater<>>;
+
 /// Per-proc retry bookkeeping for dropped one-sided ops.
 struct RetryState {
   std::vector<std::uint64_t> op_seq;
@@ -210,13 +289,17 @@ SimResult simulate_counter(const MachineConfig& config,
   };
 
   // The counter lives on proc 0's node; requests are served serially in
-  // arrival order. Heap entries are (arrival_time, proc); every active
-  // proc has exactly one outstanding request, so processing the earliest
-  // arrival is globally time-ordered.
-  using Request = std::pair<double, int>;
-  std::priority_queue<Request, std::vector<Request>, std::greater<>> heap;
+  // arrival order. Every active proc has exactly one outstanding event:
+  // a kIssue books its request message into the network, the matching
+  // kArrival is served by the counter home.
+  net::NetworkModel network = make_network(config);
+  const std::size_t ctrl = config.network.control_bytes;
+  CounterHeap heap;
+  std::vector<double> issue_time(static_cast<std::size_t>(config.n_procs),
+                                 0.0);
+  std::vector<double> issue_wait(issue_time.size(), 0.0);
   for (int p = 0; p < config.n_procs; ++p) {
-    heap.emplace(config.link_latency(p, 0), p);
+    heap.push(CounterEvent{0.0, p, CounterEv::kIssue});
   }
 
   double server_free = 0.0;
@@ -224,22 +307,31 @@ SimResult simulate_counter(const MachineConfig& config,
   double makespan = 0.0;
 
   while (!heap.empty()) {
-    const auto [arrival, p] = heap.top();
+    const CounterEvent ev = heap.top();
     heap.pop();
-    const double issue = arrival - config.link_latency(p, 0);
+    const int p = ev.proc;
+    const auto pu = static_cast<std::size_t>(p);
+    if (ev.kind == CounterEv::kIssue) {
+      issue_time[pu] = ev.time;
+      const double arrival =
+          network.send(p, 0, ev.time, ctrl, &issue_wait[pu]);
+      heap.push(CounterEvent{arrival, p, CounterEv::kArrival});
+      continue;
+    }
+    const double issue = issue_time[pu];
     const double retry_at = retries.resolve(
         config, faults, result, p, issue,
-        2.0 * config.link_latency(p, 0), 0);
+        2.0 * network.base_latency(p, 0), 0);
     if (retry_at >= 0.0) {
       // Round trip dropped: the proc times out, backs off, reissues.
-      heap.emplace(retry_at + config.link_latency(p, 0), p);
+      heap.push(CounterEvent{retry_at, p, CounterEv::kIssue});
       continue;
     }
     const double start =
-        std::max(faults.outage_release(arrival), server_free);
+        std::max(faults.outage_release(ev.time), server_free);
     server_free = start + config.counter_service;
-    const double response =
-        server_free + config.link_latency(p, 0);
+    double resp_wait = 0.0;
+    const double response = network.send(0, p, server_free, ctrl, &resp_wait);
     ++result.counter_ops;
     result.counter_wait += response - issue;
 
@@ -247,6 +339,11 @@ SimResult simulate_counter(const MachineConfig& config,
     if (config.record_trace) {
       record(result, TraceEventType::kCounterOp, p, issue, response,
              first < n_tasks ? first : -1, 0);
+      const double waited = issue_wait[pu] + resp_wait;
+      if (waited > 0.0) {
+        record(result, TraceEventType::kLinkWait, p, issue, issue + waited,
+               -1, 0);
+      }
     }
     if (first >= n_tasks) {
       // Proc learns the work is exhausted and retires.
@@ -256,17 +353,18 @@ SimResult simulate_counter(const MachineConfig& config,
     next_task = std::min(n_tasks, first + next_chunk(n_tasks - first));
     ++grab_index;
 
-    const auto pu = static_cast<std::size_t>(p);
-    double t = response;
+    double t = fetch_task_payload(config, network, result, p, first,
+                                  next_task - first, n_tasks, response);
     for (std::int64_t i = first; i < next_task; ++i) {
       const double exec = costs[static_cast<std::size_t>(i)] / speeds[pu];
       t = run_task(config, faults, result, p, i, t, exec);
     }
     makespan = std::max(makespan, t);
-    heap.emplace(t + config.link_latency(p, 0), p);
+    heap.push(CounterEvent{t, p, CounterEv::kIssue});
   }
 
   result.makespan = makespan;
+  finish_net(config, result, network);
   return result;
 }
 
@@ -301,60 +399,80 @@ SimResult simulate_hierarchical_counter(const MachineConfig& config,
   double global_free = 0.0;
   std::int64_t global_next = 0;
 
-  using Request = std::pair<double, int>;
-  std::priority_queue<Request, std::vector<Request>, std::greater<>> heap;
+  net::NetworkModel network = make_network(config);
+  const std::size_t ctrl = config.network.control_bytes;
+  CounterHeap heap;
+  std::vector<double> issue_time(static_cast<std::size_t>(config.n_procs),
+                                 0.0);
+  std::vector<double> issue_wait(issue_time.size(), 0.0);
   for (int p = 0; p < config.n_procs; ++p) {
-    const int leader = config.node_of(p) * config.procs_per_node;
-    heap.emplace(config.link_latency(p, leader), p);
+    heap.push(CounterEvent{0.0, p, CounterEv::kIssue});
   }
 
   double makespan = 0.0;
   while (!heap.empty()) {
-    const auto [arrival, p] = heap.top();
+    const CounterEvent ev = heap.top();
     heap.pop();
+    const int p = ev.proc;
+    const auto pu = static_cast<std::size_t>(p);
     const int node = config.node_of(p);
     const auto nu = static_cast<std::size_t>(node);
     const int leader = node * config.procs_per_node;
 
+    if (ev.kind == CounterEv::kIssue) {
+      issue_time[pu] = ev.time;
+      const double arrival =
+          network.send(p, leader, ev.time, ctrl, &issue_wait[pu]);
+      heap.push(CounterEvent{arrival, p, CounterEv::kArrival});
+      continue;
+    }
+    const double issue = issue_time[pu];
     const double retry_at = retries.resolve(
-        config, faults, result, p, arrival - config.link_latency(p, leader),
-        2.0 * config.link_latency(p, leader), leader);
+        config, faults, result, p, issue,
+        2.0 * network.base_latency(p, leader), leader);
     if (retry_at >= 0.0) {
-      heap.emplace(retry_at + config.link_latency(p, leader), p);
+      heap.push(CounterEvent{retry_at, p, CounterEv::kIssue});
       continue;
     }
 
-    double t = std::max(arrival, node_free[nu]);
+    double t = std::max(ev.time, node_free[nu]);
     t += config.counter_service;  // node-counter serialization
     ++result.counter_ops;
+    double refill_wait = 0.0;
 
     if (node_next[nu] >= node_end[nu]) {
       // Refill from the global counter (leader -> proc 0 round trip);
       // an outage at the global home holds the refill until it ends.
       if (global_next < n_tasks) {
-        double g = std::max(
-            faults.outage_release(t + config.link_latency(leader, 0)),
-            global_free);
+        double up_wait = 0.0;
+        const double up = network.send(leader, 0, t, ctrl, &up_wait);
+        double g = std::max(faults.outage_release(up), global_free);
         g += config.counter_service;
         global_free = g;
         ++result.counter_ops;
         node_next[nu] = global_next;
         global_next = std::min(n_tasks, global_next + node_chunk);
         node_end[nu] = global_next;
-        t = g + config.link_latency(leader, 0);
+        double down_wait = 0.0;
+        t = network.send(0, leader, g, ctrl, &down_wait);
+        refill_wait = up_wait + down_wait;
       }
     }
     node_free[nu] = std::max(node_free[nu], t);
 
-    const double response = t + config.link_latency(p, leader);
-    result.counter_wait +=
-        response - (arrival - config.link_latency(p, leader));
+    double resp_wait = 0.0;
+    const double response = network.send(leader, p, t, ctrl, &resp_wait);
+    result.counter_wait += response - issue;
 
     const bool dry = node_next[nu] >= node_end[nu];
     if (config.record_trace) {
-      record(result, TraceEventType::kCounterOp, p,
-             arrival - config.link_latency(p, leader), response,
+      record(result, TraceEventType::kCounterOp, p, issue, response,
              dry ? -1 : node_next[nu], leader);
+      const double waited = issue_wait[pu] + refill_wait + resp_wait;
+      if (waited > 0.0) {
+        record(result, TraceEventType::kLinkWait, p, issue, issue + waited,
+               -1, leader);
+      }
     }
     if (dry) {
       // Node dry and global dry: retire.
@@ -366,17 +484,18 @@ SimResult simulate_hierarchical_counter(const MachineConfig& config,
         std::min(node_end[nu], first + proc_chunk);
     node_next[nu] = last;
 
-    const auto pu = static_cast<std::size_t>(p);
-    double done = response;
+    double done = fetch_task_payload(config, network, result, p, first,
+                                     last - first, n_tasks, response);
     for (std::int64_t i = first; i < last; ++i) {
       const double exec = costs[static_cast<std::size_t>(i)] / speeds[pu];
       done = run_task(config, faults, result, p, i, done, exec);
     }
     makespan = std::max(makespan, done);
-    heap.emplace(done + config.link_latency(p, leader), p);
+    heap.push(CounterEvent{done, p, CounterEv::kIssue});
   }
 
   result.makespan = makespan;
+  finish_net(config, result, network);
   return result;
 }
 
@@ -424,12 +543,15 @@ SimResult simulate_hybrid(const MachineConfig& config,
   }
 
   // Phase 2: counter-scheduled tail; procs join as they finish.
-  using Request = std::pair<double, int>;
-  std::priority_queue<Request, std::vector<Request>, std::greater<>> heap;
+  net::NetworkModel network = make_network(config);
+  const std::size_t ctrl = config.network.control_bytes;
+  CounterHeap heap;
+  std::vector<double> issue_time(static_cast<std::size_t>(config.n_procs),
+                                 0.0);
+  std::vector<double> issue_wait(issue_time.size(), 0.0);
   for (int p = 0; p < config.n_procs; ++p) {
-    heap.emplace(finish[static_cast<std::size_t>(p)] +
-                     config.link_latency(p, 0),
-                 p);
+    heap.push(CounterEvent{finish[static_cast<std::size_t>(p)], p,
+                           CounterEv::kIssue});
   }
   double server_free = 0.0;
   std::int64_t next_task = split;
@@ -438,20 +560,30 @@ SimResult simulate_hybrid(const MachineConfig& config,
   for (double f : finish) makespan = std::max(makespan, f);
 
   while (!heap.empty()) {
-    const auto [arrival, p] = heap.top();
+    const CounterEvent ev = heap.top();
     heap.pop();
-    const double issue = arrival - config.link_latency(p, 0);
+    const int p = ev.proc;
+    const auto pu = static_cast<std::size_t>(p);
+    if (ev.kind == CounterEv::kIssue) {
+      issue_time[pu] = ev.time;
+      const double arrival =
+          network.send(p, 0, ev.time, ctrl, &issue_wait[pu]);
+      heap.push(CounterEvent{arrival, p, CounterEv::kArrival});
+      continue;
+    }
+    const double issue = issue_time[pu];
     const double retry_at = retries.resolve(
         config, faults, result, p, issue,
-        2.0 * config.link_latency(p, 0), 0);
+        2.0 * network.base_latency(p, 0), 0);
     if (retry_at >= 0.0) {
-      heap.emplace(retry_at + config.link_latency(p, 0), p);
+      heap.push(CounterEvent{retry_at, p, CounterEv::kIssue});
       continue;
     }
     const double start =
-        std::max(faults.outage_release(arrival), server_free);
+        std::max(faults.outage_release(ev.time), server_free);
     server_free = start + config.counter_service;
-    const double response = server_free + config.link_latency(p, 0);
+    double resp_wait = 0.0;
+    const double response = network.send(0, p, server_free, ctrl, &resp_wait);
     ++result.counter_ops;
     result.counter_wait += response - issue;
 
@@ -459,6 +591,11 @@ SimResult simulate_hybrid(const MachineConfig& config,
     if (config.record_trace) {
       record(result, TraceEventType::kCounterOp, p, issue, response,
              first < n_tasks ? first : -1, 0);
+      const double waited = issue_wait[pu] + resp_wait;
+      if (waited > 0.0) {
+        record(result, TraceEventType::kLinkWait, p, issue, issue + waited,
+               -1, 0);
+      }
     }
     if (first >= n_tasks) {
       makespan = std::max(makespan, response);
@@ -466,17 +603,18 @@ SimResult simulate_hybrid(const MachineConfig& config,
     }
     next_task = std::min(n_tasks, first + chunk);
 
-    const auto pu = static_cast<std::size_t>(p);
-    double t = response;
+    double t = fetch_task_payload(config, network, result, p, first,
+                                  next_task - first, n_tasks, response);
     for (std::int64_t i = first; i < next_task; ++i) {
       const double exec = costs[static_cast<std::size_t>(i)] / speeds[pu];
       t = run_task(config, faults, result, p, i, t, exec);
     }
     makespan = std::max(makespan, t);
-    heap.emplace(t + config.link_latency(p, 0), p);
+    heap.push(CounterEvent{t, p, CounterEv::kIssue});
   }
 
   result.makespan = makespan;
+  finish_net(config, result, network);
   return result;
 }
 
@@ -495,6 +633,8 @@ SimResult simulate_work_stealing(const MachineConfig& config,
   const auto speeds = draw_core_speeds(config);
   const FaultSchedule faults(config);
   RetryState retries(config.n_procs);
+  net::NetworkModel network = make_network(config);
+  const std::size_t ctrl = config.network.control_bytes;
   const auto n_procs = static_cast<std::size_t>(config.n_procs);
   SimResult result;
   result.busy.assign(n_procs, 0.0);
@@ -599,7 +739,7 @@ SimResult simulate_work_stealing(const MachineConfig& config,
 
     // Steal attempt at a policy-selected victim.
     const int victim = pick_victim(ev.proc);
-    const double rtt = 2.0 * config.link_latency(ev.proc, victim);
+    const double rtt = 2.0 * network.base_latency(ev.proc, victim);
     const double retry_at = retries.resolve(config, faults, result, ev.proc,
                                             ev.time, rtt, victim);
     if (retry_at >= 0.0) {
@@ -611,37 +751,58 @@ SimResult simulate_work_stealing(const MachineConfig& config,
     const auto vu = static_cast<std::size_t>(victim);
 
     if (queues[vu].empty()) {
-      result.steal_wait += rtt;
+      double wait = 0.0;
+      const double response =
+          network.round_trip(ev.proc, victim, ev.time, ctrl, ctrl, &wait);
+      result.steal_wait += response - ev.time;
       if (config.record_trace) {
         record(result, TraceEventType::kStealFail, ev.proc, ev.time,
-               ev.time + rtt, -1, victim);
+               response, -1, victim);
+        if (wait > 0.0) {
+          record(result, TraceEventType::kLinkWait, ev.proc, ev.time,
+                 ev.time + wait, -1, victim);
+        }
       }
       events.push(
-          Event{ev.time + rtt + config.steal_fail_retry, seq++, ev.proc});
+          Event{response + config.steal_fail_retry, seq++, ev.proc});
       continue;
     }
 
     ++result.steals;
-    result.steal_wait += rtt;
     const std::int64_t task = queues[vu].front();
     queues[vu].pop_front();
     --total_queued;
-    if (config.record_trace) {
-      record(result, TraceEventType::kStealSuccess, ev.proc, ev.time,
-             ev.time + rtt, task, victim);
-    }
+    std::size_t migrated = 0;
     if (options.steal_half) {
       // Migrate up to half of the victim's remaining queue.
       std::size_t extra = queues[vu].size() / 2;
+      migrated = extra;
       while (extra-- > 0) {
         queues[pu].push_back(queues[vu].front());
         queues[vu].pop_front();
       }
     }
-    execute(ev.proc, task, ev.time + rtt);
+    // The response carries the stolen task(s): control header plus one
+    // payload per migrated task (zero under the legacy model).
+    const std::size_t resp_bytes =
+        ctrl + (1 + migrated) * config.network.task_payload_bytes;
+    double wait = 0.0;
+    const double response = network.round_trip(ev.proc, victim, ev.time,
+                                               ctrl, resp_bytes, &wait);
+    result.steal_wait += response - ev.time;
+    if (config.record_trace) {
+      record(result, TraceEventType::kStealSuccess, ev.proc, ev.time,
+             response, task, victim);
+      if (wait > 0.0) {
+        record(result, TraceEventType::kLinkWait, ev.proc, ev.time,
+               ev.time + wait, task, victim);
+      }
+    }
+    execute(ev.proc, task, response);
   }
 
   result.makespan = makespan;
+  finish_net(config, result, network);
   return result;
 }
 

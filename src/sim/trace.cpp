@@ -29,6 +29,10 @@ const char* trace_event_name(TraceEventType type) {
       return "op-retry";
     case TraceEventType::kTaskReexec:
       return "task-reexec";
+    case TraceEventType::kNetTransfer:
+      return "net-transfer";
+    case TraceEventType::kLinkWait:
+      return "link-wait";
   }
   return "?";
 }
@@ -183,7 +187,13 @@ TraceSummary summarize_trace(std::span<const TraceEvent> trace, int n_procs,
       case TraceEventType::kCounterOp:
       case TraceEventType::kOpRetry:
       case TraceEventType::kTaskReexec:
+      case TraceEventType::kNetTransfer:
         overhead[pu] += ev.duration();
+        break;
+      // kLinkWait annotates queueing *inside* the enclosing counter /
+      // steal / transfer span, which is already booked as overhead —
+      // counting it again would double-book the wait.
+      case TraceEventType::kLinkWait:
         break;
       default:
         break;

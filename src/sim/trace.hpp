@@ -30,6 +30,8 @@ enum class TraceEventType : std::uint8_t {
   kFaultEnd,            ///< fault window closes on a proc (zero duration)
   kOpRetry,             ///< dropped one-sided op: round trip + backoff
   kTaskReexec,          ///< execution span lost to a stall, later re-run
+  kNetTransfer,         ///< sized data transfer (task payload move)
+  kLinkWait,            ///< time a transfer queued behind a busy link
 };
 
 /// Display name ("task", "steal", ...).

@@ -1,5 +1,6 @@
 #include "util/metrics.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <mutex>
 #include <ostream>
@@ -135,6 +136,24 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
   return resolve(mutex_, histograms_, name, counters_, gauges_);
 }
 
+double MetricsSnapshot::HistogramValue::percentile(double q) const {
+  if (count <= 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  double seen = 0.0;
+  for (const auto& [lower, n] : bins) {
+    const double here = static_cast<double>(n);
+    if (seen + here >= target) {
+      const double frac = here > 0.0 ? (target - seen) / here : 0.0;
+      // Bin b covers [lower, 2 * lower); interpolate linearly inside.
+      const double estimate = lower + frac * lower;
+      return std::clamp(estimate, min, max);
+    }
+    seen += here;
+  }
+  return max;
+}
+
 MetricsSnapshot MetricsRegistry::snapshot() const {
   std::shared_lock lock(mutex_);
   MetricsSnapshot snap;
@@ -155,6 +174,9 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
       const std::int64_t n = bins[static_cast<std::size_t>(b)];
       if (n > 0) v.bins.emplace_back(Histogram::bin_lower_bound(b), n);
     }
+    v.p50 = v.percentile(0.50);
+    v.p90 = v.percentile(0.90);
+    v.p99 = v.percentile(0.99);
     snap.histograms.emplace(name, std::move(v));
   }
   return snap;
@@ -189,7 +211,8 @@ void MetricsRegistry::write_text(std::ostream& out) const {
   }
   for (const auto& [name, h] : snap.histograms) {
     out << name << " histogram count=" << h.count << " sum=" << h.sum
-        << " min=" << h.min << " max=" << h.max << "\n";
+        << " min=" << h.min << " max=" << h.max << " p50=" << h.p50
+        << " p90=" << h.p90 << " p99=" << h.p99 << "\n";
   }
 }
 
@@ -215,7 +238,8 @@ void MetricsRegistry::write_json(std::ostream& out) const {
     out << (first ? "" : ",") << "\n    \"" << name
         << "\": {\"count\": " << h.count << ", \"sum\": " << h.sum
         << ", \"min\": " << h.min << ", \"max\": " << h.max
-        << ", \"bins\": [";
+        << ", \"p50\": " << h.p50 << ", \"p90\": " << h.p90
+        << ", \"p99\": " << h.p99 << ", \"bins\": [";
     for (std::size_t b = 0; b < h.bins.size(); ++b) {
       out << (b == 0 ? "" : ", ") << "[" << h.bins[b].first << ", "
           << h.bins[b].second << "]";

@@ -89,8 +89,19 @@ struct MetricsSnapshot {
   struct HistogramValue {
     std::int64_t count = 0;
     double sum = 0.0, min = 0.0, max = 0.0;
+    /// Percentile estimates from the binned counts (see percentile());
+    /// filled by MetricsRegistry::snapshot and emitted in text/JSON.
+    double p50 = 0.0, p90 = 0.0, p99 = 0.0;
     /// (bin lower edge, count) for non-empty bins only.
     std::vector<std::pair<double, std::int64_t>> bins;
+
+    /// Percentile estimate for q in [0, 1]: cumulative walk over the
+    /// log2 bins, linear interpolation inside the bin holding the q-th
+    /// sample, clamped to the observed [min, max] (so estimates never
+    /// leave the true sample range). Accuracy is bounded by the bin
+    /// width — within a factor of 2 of the exact sample percentile
+    /// (util/stats.hpp emc::percentile). Returns 0 when empty.
+    double percentile(double q) const;
   };
   std::map<std::string, std::int64_t> counters;
   std::map<std::string, double> gauges;

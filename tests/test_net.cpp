@@ -1,0 +1,396 @@
+// Unit tests for src/net: topology routing, link-occupancy congestion,
+// LogGP message costs, the simulators' network plumbing, and — most
+// load-bearing — the legacy back-compat guarantee: a default (flat)
+// NetworkConfig must reproduce the seed simulators bitwise.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "core/task_model.hpp"
+#include "lb/simple.hpp"
+#include "net/network.hpp"
+#include "net/topology.hpp"
+#include "pgas/runtime.hpp"
+#include "sim/simulators.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using emc::net::MessageCost;
+using emc::net::NetworkConfig;
+using emc::net::NetworkModel;
+using emc::net::Topology;
+using emc::net::TopologyKind;
+using emc::sim::MachineConfig;
+using emc::sim::SimResult;
+
+std::vector<int> route_of(const Topology& topo, int a, int b) {
+  std::vector<int> path;
+  topo.route(a, b, path);
+  return path;
+}
+
+// ---------------------------------------------------------------------------
+// Topology
+// ---------------------------------------------------------------------------
+
+TEST(TopologyTest, NamesRoundTrip) {
+  for (TopologyKind kind :
+       {TopologyKind::kLegacyFlat, TopologyKind::kCrossbar,
+        TopologyKind::kFatTree, TopologyKind::kTorus}) {
+    EXPECT_EQ(emc::net::parse_topology(emc::net::topology_name(kind)),
+              kind);
+  }
+  EXPECT_THROW(emc::net::parse_topology("dragonfly"),
+               std::invalid_argument);
+}
+
+TEST(TopologyTest, CrossbarRoutesThroughBothNics) {
+  NetworkConfig config;
+  config.topology = TopologyKind::kCrossbar;
+  const Topology topo = Topology::build(config, 4);
+  EXPECT_EQ(topo.link_count(), 8);  // 4 nic-up + 4 nic-down
+  const auto path = route_of(topo, 0, 3);
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(path[0], 0);      // nic-up[0]
+  EXPECT_EQ(path[1], 4 + 3);  // nic-down[3]
+  EXPECT_TRUE(route_of(topo, 2, 2).empty());
+  EXPECT_EQ(topo.hops(0, 3), 2);
+  EXPECT_EQ(topo.hops(1, 1), 0);
+}
+
+TEST(TopologyTest, FatTreeAddsTrunkHopsAcrossSwitches) {
+  NetworkConfig config;
+  config.topology = TopologyKind::kFatTree;
+  config.nodes_per_switch = 2;
+  const Topology topo = Topology::build(config, 4);  // 2 leaf switches
+  // Same switch: nic-up, nic-down only.
+  EXPECT_EQ(route_of(topo, 0, 1).size(), 2u);
+  EXPECT_EQ(topo.hops(0, 1), 2);
+  // Cross switch: nic-up, leaf-up[0], leaf-down[1], nic-down.
+  const auto path = route_of(topo, 0, 3);
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path[0], 0);
+  EXPECT_EQ(path[1], 2 * 4 + 0);      // leaf-up[0]
+  EXPECT_EQ(path[2], 2 * 4 + 2 + 1);  // leaf-down[1]
+  EXPECT_EQ(path[3], 4 + 3);
+  EXPECT_EQ(topo.hops(0, 3), 4);
+}
+
+TEST(TopologyTest, FatTreeTrunkCapacityFollowsOversubscription) {
+  NetworkConfig config;
+  config.topology = TopologyKind::kFatTree;
+  config.nodes_per_switch = 4;
+  config.oversubscription = 2;
+  const Topology topo = Topology::build(config, 8);
+  // NIC links are unit capacity; the trunked leaf uplinks carry
+  // nodes_per_switch / oversubscription NIC-widths.
+  EXPECT_EQ(topo.link_capacity(0), 1);
+  EXPECT_EQ(topo.link_capacity(2 * 8 + 0), 2);
+  config.oversubscription = 4;
+  EXPECT_EQ(Topology::build(config, 8).link_capacity(2 * 8 + 0), 1);
+}
+
+TEST(TopologyTest, TorusUsesShortestWrapDimensionOrder) {
+  NetworkConfig config;
+  config.topology = TopologyKind::kTorus;
+  config.torus_x = 3;
+  config.torus_y = 3;
+  const Topology topo = Topology::build(config, 9);
+  // 0 -> 2 wraps backwards (-x): one hop, not two forward.
+  const auto wrap = route_of(topo, 0, 2);
+  ASSERT_EQ(wrap.size(), 1u);
+  EXPECT_EQ(wrap[0], 0 * 4 + 1);  // cell 0, -x
+  EXPECT_EQ(topo.hops(0, 2), 1);
+  // 0 -> 4 routes x first (+x at cell 0), then y (+y at cell 1).
+  const auto diag = route_of(topo, 0, 4);
+  ASSERT_EQ(diag.size(), 2u);
+  EXPECT_EQ(diag[0], 0 * 4 + 0);
+  EXPECT_EQ(diag[1], 1 * 4 + 2);
+  EXPECT_EQ(topo.hops(0, 4), 2);
+}
+
+TEST(TopologyTest, RejectsMalformedConfigs) {
+  NetworkConfig config;
+  config.topology = TopologyKind::kTorus;
+  config.torus_x = 2;
+  config.torus_y = 2;
+  EXPECT_THROW(Topology::build(config, 5), std::invalid_argument);
+  config = NetworkConfig{};
+  config.topology = TopologyKind::kFatTree;
+  config.nodes_per_switch = 0;
+  EXPECT_THROW(Topology::build(config, 4), std::invalid_argument);
+  config.nodes_per_switch = 4;
+  config.oversubscription = 0;
+  EXPECT_THROW(Topology::build(config, 4), std::invalid_argument);
+  EXPECT_THROW(Topology::build(NetworkConfig{}, 0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// NetworkModel: LogGP costs and congestion
+// ---------------------------------------------------------------------------
+
+NetworkConfig crossbar_config(double bandwidth) {
+  NetworkConfig config;
+  config.topology = TopologyKind::kCrossbar;
+  config.link_bandwidth = bandwidth;
+  return config;
+}
+
+TEST(NetworkModelTest, MessageCostDecomposes) {
+  NetworkConfig config = crossbar_config(1e6);
+  config.per_message_overhead = 2e-6;
+  // 2 procs, 1 per node -> inter-node, route = 2 unit-capacity links.
+  NetworkModel net(config, 2, 1, 0.3e-6, 1.5e-6);
+  const MessageCost cost = net.message_cost(0, 1, 1000);
+  EXPECT_DOUBLE_EQ(cost.overhead, 2e-6);
+  EXPECT_DOUBLE_EQ(cost.latency, 1.5e-6);
+  EXPECT_DOUBLE_EQ(cost.serialization, 2.0 * 1000.0 / 1e6);
+  EXPECT_DOUBLE_EQ(cost.total(),
+                   cost.overhead + cost.latency + cost.serialization);
+  // Local messages are free; same-node remote ones pay intra latency.
+  EXPECT_DOUBLE_EQ(net.message_cost(0, 0, 1000).total(), 0.0);
+}
+
+TEST(NetworkModelTest, ConcurrentTransfersSerializeOnSharedLinks) {
+  // 1 MB/s links, 1 MB messages: each link takes 1 s per message.
+  NetworkModel net(crossbar_config(1e6), 2, 1, 0.3e-6, 1.5e-6);
+  double w1 = 0.0, w2 = 0.0;
+  const double first = net.send(0, 1, 0.0, 1000000, &w1);
+  const double second = net.send(0, 1, 0.0, 1000000, &w2);
+  // First: 1 s up + 1 s down + endpoint latency. Second queues a full
+  // second behind the first on both links.
+  EXPECT_DOUBLE_EQ(first, 2.0 + 1.5e-6);
+  EXPECT_DOUBLE_EQ(second, 3.0 + 1.5e-6);
+  EXPECT_DOUBLE_EQ(w1, 0.0);
+  EXPECT_NEAR(w2, 1.0, 1e-9);
+  EXPECT_EQ(net.stats().messages, 2);
+  EXPECT_EQ(net.stats().congested_messages, 1);
+  EXPECT_NEAR(net.stats().link_wait, 1.0, 1e-9);
+  EXPECT_NEAR(net.max_link_busy(), 2.0, 1e-9);
+  net.reset();
+  EXPECT_EQ(net.stats().messages, 0);
+  EXPECT_DOUBLE_EQ(net.max_link_busy(), 0.0);
+}
+
+TEST(NetworkModelTest, InfiniteBandwidthDegeneratesToLatency) {
+  NetworkModel net(crossbar_config(0.0), 2, 1, 0.3e-6, 1.5e-6);
+  // No serialization, no occupancy: both sends deliver at issue + L.
+  EXPECT_EQ(net.send(0, 1, 0.25, 1 << 20), 0.25 + 1.5e-6);
+  EXPECT_EQ(net.send(0, 1, 0.25, 1 << 20), 0.25 + 1.5e-6);
+  EXPECT_EQ(net.stats().congested_messages, 0);
+}
+
+TEST(NetworkModelTest, OversubscribedTrunkIsSlower) {
+  NetworkConfig config;
+  config.topology = TopologyKind::kFatTree;
+  config.nodes_per_switch = 4;
+  config.link_bandwidth = 1e6;
+  config.oversubscription = 1;
+  NetworkModel full(config, 8, 1, 0.3e-6, 1.5e-6);
+  config.oversubscription = 4;
+  NetworkModel thin(config, 8, 1, 0.3e-6, 1.5e-6);
+  // Cross-switch message: trunk capacity 4 vs 1.
+  const double fast = full.send(0, 7, 0.0, 1000000);
+  const double slow = thin.send(0, 7, 0.0, 1000000);
+  EXPECT_GT(slow, fast);
+}
+
+// ---------------------------------------------------------------------------
+// Legacy back-compat: the golden reference scenario
+// ---------------------------------------------------------------------------
+
+// Fixed scenario: P = 16, 4 procs/node, 64 lognormal-ish task costs from
+// Rng(123). The expected values are hexfloat captures from the seed
+// simulator (pre-src/net); a default NetworkConfig must reproduce them
+// bit for bit. If a change legitimately alters the seed arithmetic,
+// recapture — but that breaks EXP reproducibility, so think twice.
+struct GoldenScenario {
+  MachineConfig config;
+  std::vector<double> costs;
+  emc::lb::Assignment block;
+
+  GoldenScenario() {
+    config.n_procs = 16;
+    config.procs_per_node = 4;
+    emc::Rng rng(123);
+    costs.resize(64);
+    for (double& c : costs) c = std::exp(rng.uniform(-9.0, -4.0));
+    block = emc::lb::block_assignment(costs.size(), config.n_procs);
+  }
+};
+
+TEST(LegacyBackCompatTest, DefaultConfigReproducesSeedMakespansBitwise) {
+  const GoldenScenario s;
+  ASSERT_TRUE(s.config.network.legacy());
+  EXPECT_EQ(emc::sim::simulate_static(s.config, s.costs, s.block).makespan,
+            0x1.b1b46f96a036bp-6);
+  EXPECT_EQ(emc::sim::simulate_counter(s.config, s.costs, 2).makespan,
+            0x1.a0872850c722p-6);
+  EXPECT_EQ(emc::sim::simulate_hierarchical_counter(s.config, s.costs, 8, 2)
+                .makespan,
+            0x1.6aef0ec5206f1p-6);
+  EXPECT_EQ(
+      emc::sim::simulate_hybrid(s.config, s.costs, s.block, 0.3, 2).makespan,
+      0x1.7a32095efa335p-6);
+  const SimResult ws =
+      emc::sim::simulate_work_stealing(s.config, s.costs, s.block);
+  EXPECT_EQ(ws.makespan, 0x1.6f3cbb768439cp-6);
+  EXPECT_EQ(ws.steals, 15);
+}
+
+TEST(LegacyBackCompatTest, BandwidthFieldsAreInertUnderFlatTopology) {
+  // Satellite guarantee: flat topology + infinite bandwidth + zero
+  // per-byte cost is the seed model, whatever the sizing fields say.
+  GoldenScenario s;
+  s.config.network.link_bandwidth = 0.0;   // infinite
+  s.config.network.per_message_overhead = 0.0;
+  s.config.network.task_payload_bytes = 1 << 20;
+  s.config.network.control_bytes = 4096;
+  ASSERT_TRUE(s.config.network.legacy());
+  EXPECT_EQ(emc::sim::simulate_counter(s.config, s.costs, 2).makespan,
+            0x1.a0872850c722p-6);
+  const SimResult ws =
+      emc::sim::simulate_work_stealing(s.config, s.costs, s.block);
+  EXPECT_EQ(ws.makespan, 0x1.6f3cbb768439cp-6);
+}
+
+TEST(LegacyBackCompatTest, UncongestedCrossbarMatchesCounterFamilyBitwise) {
+  // With infinite bandwidth, zero overhead, and zero payload, crossbar
+  // routing adds only exact +0.0 terms to every counter-family leg, so
+  // even a non-legacy topology reproduces the seed makespans.
+  GoldenScenario s;
+  s.config.network.topology = TopologyKind::kCrossbar;
+  s.config.network.link_bandwidth = 0.0;
+  ASSERT_FALSE(s.config.network.legacy());
+  EXPECT_EQ(emc::sim::simulate_counter(s.config, s.costs, 2).makespan,
+            0x1.a0872850c722p-6);
+  EXPECT_EQ(emc::sim::simulate_hierarchical_counter(s.config, s.costs, 8, 2)
+                .makespan,
+            0x1.6aef0ec5206f1p-6);
+  EXPECT_EQ(
+      emc::sim::simulate_hybrid(s.config, s.costs, s.block, 0.3, 2).makespan,
+      0x1.7a32095efa335p-6);
+}
+
+// ---------------------------------------------------------------------------
+// Simulator plumbing: sized messages, congestion surfaced in results
+// ---------------------------------------------------------------------------
+
+TEST(SimulatorNetTest, CounterRunPopulatesNetStats) {
+  GoldenScenario s;
+  s.config.network.topology = TopologyKind::kCrossbar;
+  const SimResult r = emc::sim::simulate_counter(s.config, s.costs, 2);
+  EXPECT_GT(r.net_messages, 0);
+  EXPECT_GT(r.net_bytes, 0.0);
+}
+
+TEST(SimulatorNetTest, PayloadFetchesEmitNetTransferEvents) {
+  GoldenScenario s;
+  s.config.network.topology = TopologyKind::kCrossbar;
+  s.config.network.task_payload_bytes = 64 * 1024;
+  s.config.network.link_bandwidth = 1e9;
+  s.config.record_trace = true;
+  const SimResult r = emc::sim::simulate_counter(s.config, s.costs, 2);
+  int transfers = 0;
+  for (const auto& ev : r.trace) {
+    if (ev.type == emc::sim::TraceEventType::kNetTransfer) ++transfers;
+  }
+  EXPECT_GT(transfers, 0);
+  EXPECT_STREQ(
+      emc::sim::trace_event_name(emc::sim::TraceEventType::kNetTransfer),
+      "net-transfer");
+  EXPECT_STREQ(
+      emc::sim::trace_event_name(emc::sim::TraceEventType::kLinkWait),
+      "link-wait");
+}
+
+TEST(SimulatorNetTest, OversubscribedFatTreeCongestsAndSlowsRun) {
+  GoldenScenario s;
+  const double legacy_makespan =
+      emc::sim::simulate_counter(s.config, s.costs, 2).makespan;
+
+  s.config.network.topology = TopologyKind::kFatTree;
+  s.config.network.nodes_per_switch = 2;
+  s.config.network.oversubscription = 2;
+  s.config.network.link_bandwidth = 1e8;
+  s.config.network.task_payload_bytes = 256 * 1024;
+  const SimResult congested =
+      emc::sim::simulate_counter(s.config, s.costs, 2);
+  EXPECT_GT(congested.net_link_wait, 0.0);
+  EXPECT_GT(congested.net_congested, 0);
+  EXPECT_GT(congested.makespan, legacy_makespan);
+}
+
+TEST(SimulatorNetTest, WorkStealingChargesSizedResponses) {
+  GoldenScenario s;
+  s.config.network.topology = TopologyKind::kCrossbar;
+  s.config.network.link_bandwidth = 1e8;
+  s.config.network.task_payload_bytes = 256 * 1024;
+  const SimResult ws =
+      emc::sim::simulate_work_stealing(s.config, s.costs, s.block);
+  EXPECT_GT(ws.net_messages, 0);
+  // Steal responses carry payloads: bytes moved must exceed the pure
+  // control traffic of the same message count.
+  EXPECT_GT(ws.net_bytes,
+            static_cast<double>(ws.net_messages) *
+                static_cast<double>(s.config.network.control_bytes));
+}
+
+TEST(SimulatorNetTest, DeterministicUnderCongestion) {
+  GoldenScenario s;
+  s.config.network.topology = TopologyKind::kFatTree;
+  s.config.network.nodes_per_switch = 2;
+  s.config.network.oversubscription = 2;
+  s.config.network.link_bandwidth = 1e8;
+  s.config.network.task_payload_bytes = 128 * 1024;
+  const SimResult a = emc::sim::simulate_counter(s.config, s.costs, 4);
+  const SimResult b = emc::sim::simulate_counter(s.config, s.costs, 4);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.net_link_wait, b.net_link_wait);
+  EXPECT_EQ(a.net_messages, b.net_messages);
+}
+
+// ---------------------------------------------------------------------------
+// PGAS cost model + task payload sizing
+// ---------------------------------------------------------------------------
+
+TEST(CommCostModelTest, FromTopologyLegacyMapsToEndpointLatencies) {
+  const auto cost = emc::pgas::CommCostModel::from_topology(
+      NetworkConfig{}, 8, 4);
+  EXPECT_EQ(cost.local_ns, 300u);
+  EXPECT_EQ(cost.remote_ns, 1500u);
+  EXPECT_EQ(cost.per_byte_ns, 0u);
+  EXPECT_EQ(cost.counter_ns, 3000u);
+}
+
+TEST(CommCostModelTest, FromTopologyPricesBandwidthAndHops) {
+  NetworkConfig config = crossbar_config(1e9);
+  config.per_message_overhead = 0.5e-6;
+  const auto cost =
+      emc::pgas::CommCostModel::from_topology(config, 8, 1);
+  // Every inter-node route is 2 unit-capacity links at 1 GB/s: 2 ns/B.
+  EXPECT_EQ(cost.per_byte_ns, 2u);
+  EXPECT_EQ(cost.remote_ns, 2000u);  // 1.5 us + 0.5 us overhead
+  EXPECT_EQ(cost.counter_ns, 2 * cost.remote_ns);
+  EXPECT_THROW(
+      emc::pgas::CommCostModel::from_topology(NetworkConfig{}, 0, 1),
+      std::invalid_argument);
+}
+
+TEST(TaskPayloadTest, MeanTaskCommBytesMatchesStripeSizes) {
+  const emc::core::TaskModel model = emc::core::build_task_model("water");
+  const std::size_t bytes = emc::core::mean_task_comm_bytes(model);
+  EXPECT_GT(bytes, 0u);
+  // Upper bound: no task can move more than four full stripes of the
+  // widest shell (cartesian d = 6 functions) in each direction.
+  const std::size_t n =
+      static_cast<std::size_t>(model.basis.function_count());
+  EXPECT_LE(bytes, 8u * 4u * 6u * n);
+  EXPECT_EQ(emc::core::mean_task_comm_bytes(emc::core::TaskModel{}), 0u);
+}
+
+}  // namespace

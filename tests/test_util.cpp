@@ -409,6 +409,47 @@ TEST(MetricsTest, HistogramBinsCoverWideRange) {
             emc::util::Histogram::bin_lower_bound(0));
 }
 
+TEST(MetricsTest, HistogramPercentilesTrackExactPercentiles) {
+  // Log2-binned percentile estimates are bin-width-accurate: each must
+  // land within a factor of 2 of the exact sample percentile computed by
+  // util/stats.hpp, and inside the true sample range.
+  emc::util::MetricsRegistry reg;
+  emc::util::Histogram& h = reg.histogram("wait");
+  Rng rng(123);
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) {
+    xs.push_back(std::exp(rng.uniform(-14.0, 0.0)));  // ~6e-7 .. 1
+    h.record(xs.back());
+  }
+  const auto snap = reg.snapshot();
+  const auto& hv = snap.histograms.at("wait");
+  const struct {
+    double q;
+    double estimate;
+  } cases[] = {{0.50, hv.p50}, {0.90, hv.p90}, {0.99, hv.p99}};
+  for (const auto& c : cases) {
+    const double exact = emc::percentile(xs, c.q);
+    EXPECT_GE(c.estimate, exact / 2.0) << "q=" << c.q;
+    EXPECT_LE(c.estimate, exact * 2.0) << "q=" << c.q;
+    EXPECT_GE(c.estimate, hv.min);
+    EXPECT_LE(c.estimate, hv.max);
+  }
+  EXPECT_LE(hv.p50, hv.p90);
+  EXPECT_LE(hv.p90, hv.p99);
+
+  // Degenerate single-value histogram: every percentile clamps to it.
+  reg.histogram("point").record(0.25);
+  const auto snap2 = reg.snapshot();
+  EXPECT_DOUBLE_EQ(snap2.histograms.at("point").p50, 0.25);
+  EXPECT_DOUBLE_EQ(snap2.histograms.at("point").p99, 0.25);
+
+  // Text export carries the estimates.
+  std::ostringstream out;
+  reg.write_text(out);
+  EXPECT_NE(out.str().find("p50="), std::string::npos);
+  EXPECT_NE(out.str().find("p99="), std::string::npos);
+}
+
 TEST(JsonParserTest, ParsesStructuredDocument) {
   const emc::util::JsonValue doc = emc::util::parse_json(
       R"({"name": "run", "ok": true, "skip": null,
