@@ -13,11 +13,35 @@
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "core/experiment.hpp"
 #include "core/task_model.hpp"
 #include "sim/machine.hpp"
 
 namespace emc::bench {
+
+/// Peak resident-set size of this process so far, in bytes (0 where the
+/// platform offers no getrusage). Linux reports ru_maxrss in KiB, macOS
+/// in bytes; both are high-water marks, so call it at the end of a run
+/// — or between phases to attribute growth — and report it alongside
+/// timing: events/sec without the memory footprint hides half the
+/// scalability story.
+inline std::int64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::int64_t>(usage.ru_maxrss);
+#else
+  return static_cast<std::int64_t>(usage.ru_maxrss) * 1024;
+#endif
+#else
+  return 0;
+#endif
+}
 
 /// Machine setup shared by every bench driver. `ppn > 0` pins the
 /// procs-per-node (clamped to `procs`, typically from a --ppn flag);

@@ -307,6 +307,7 @@ int run(const Options& opt) {
     json.begin_object();
     json.field("bench", "bench_faults");
     json.field("experiment", "EXP-9b");
+    json.field("peak_rss_bytes", emc::bench::peak_rss_bytes());
     json.field("molecule", opt.molecule);
     json.field("procs", opt.procs);
     json.field("tasks", static_cast<std::int64_t>(model.task_count()));

@@ -339,6 +339,7 @@ int run_smoke(const std::string& json_path, double min_speedup,
     json.begin_object();
     json.field("bench", "bench_kernel");
     json.field("mode", "smoke");
+    json.field("peak_rss_bytes", emc::bench::peak_rss_bytes());
     json.field("seed", seed);
     json.begin_array("quartet_classes");
     for (const ClassResult& c : classes) {

@@ -364,6 +364,7 @@ int run(const Options& opt) {
     json.begin_object();
     json.field("bench", "bench_topology");
     json.field("experiment", "EXP-11");
+    json.field("peak_rss_bytes", emc::bench::peak_rss_bytes());
     json.field("molecule", opt.molecule);
     json.field("procs", opt.procs);
     json.field("procs_per_node", base.procs_per_node);

@@ -237,6 +237,7 @@ int run(const Options& opt) {
   emc::bench::JsonWriter json(out);
   json.begin_object();
   json.field("bench", "bench_trace");
+  json.field("peak_rss_bytes", emc::bench::peak_rss_bytes());
   json.field("molecule", opt.molecule);
   json.field("tasks", static_cast<std::int64_t>(model.task_count()));
   json.begin_object("sim");

@@ -1,0 +1,216 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace emc::sim {
+
+const char* scheduler_name(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kBinaryHeap:
+      return "heap";
+    case SchedulerKind::kCalendarQueue:
+      return "calendar";
+  }
+  return "?";
+}
+
+SchedulerKind parse_scheduler(const std::string& name) {
+  if (name == "heap") return SchedulerKind::kBinaryHeap;
+  if (name == "calendar" || name == "calendar-queue") {
+    return SchedulerKind::kCalendarQueue;
+  }
+  throw std::invalid_argument("parse_scheduler: unknown scheduler '" +
+                              name + "'");
+}
+
+EventQueue::EventQueue(SchedulerKind kind, std::size_t expected)
+    : kind_(kind) {
+  if (kind_ == SchedulerKind::kBinaryHeap) {
+    std::vector<SimEvent> storage;
+    storage.reserve(expected);
+    heap_ = std::priority_queue<SimEvent, std::vector<SimEvent>,
+                                EventGreater>(EventGreater{},
+                                              std::move(storage));
+    return;
+  }
+  const std::size_t n_buckets =
+      std::bit_ceil(std::max<std::size_t>(16, expected));
+  buckets_.resize(n_buckets);
+  mask_ = n_buckets - 1;
+}
+
+void EventQueue::push(double time, std::uint64_t key) {
+  if (kind_ == SchedulerKind::kBinaryHeap) {
+    heap_.push(SimEvent{time, key});
+    ++size_;
+    return;
+  }
+  cal_push(time, key);
+}
+
+SimEvent EventQueue::pop() {
+  if (kind_ == SchedulerKind::kBinaryHeap) {
+    const SimEvent ev = heap_.top();
+    heap_.pop();
+    --size_;
+    return ev;
+  }
+  return cal_pop();
+}
+
+void EventQueue::cal_push(double time, std::uint64_t key) {
+  const Entry entry{std::bit_cast<std::uint64_t>(time), key};
+  // Eager width fit: while the width is still the unfitted default,
+  // pushing into an already-hot bucket that spans distinct times means
+  // the default is badly wrong for this population — re-fit now instead
+  // of paying a long memmove per push until the rate limit expires.
+  // Equal-time bursts (min == max) never trigger this; they stay on the
+  // O(1) append path and a re-fit could not spread them anyway.
+  if (!fitted_ && size_ >= 64) {
+    const Bucket& b = buckets_[epoch_of(time) & mask_];
+    if (b.entries.size() - b.head > kHotBucket &&
+        b.entries[b.head].tbits != b.entries.back().tbits) {
+      rebuild(size_);
+    }
+  }
+  const std::uint64_t epoch = epoch_of(time);
+  Bucket& bucket = buckets_[epoch & mask_];
+  if (bucket.empty()) {
+    // Reclaim the dead prefix before starting a new population.
+    bucket.entries.clear();
+    bucket.head = 0;
+    bucket.entries.push_back(entry);
+  } else if (!(entry < bucket.entries.back())) {
+    bucket.entries.push_back(entry);
+  } else {
+    // Out-of-order push: binary-insert into the live range. Rare in
+    // DES usage (times and tie-break keys are pushed near-monotone);
+    // cost is the tail memmove, not a later re-sort.
+    const auto it = std::upper_bound(
+        bucket.entries.begin() +
+            static_cast<std::ptrdiff_t>(bucket.head),
+        bucket.entries.end(), entry);
+    bucket.entries.insert(it, entry);
+  }
+  ++size_;
+  ++ops_since_rebuild_;
+  // An event scheduled before the current scan day rewinds the scan so
+  // it cannot be skipped (DES pops are monotone, so this is rare).
+  if (epoch < cur_epoch_) cur_epoch_ = epoch;
+  if (size_ > 2 * (mask_ + 1)) rebuild(size_);
+}
+
+SimEvent EventQueue::take_front(Bucket& bucket) {
+  const Entry e = bucket.min();
+  ++bucket.head;
+  if (bucket.empty()) {
+    bucket.entries.clear();
+    bucket.head = 0;
+  }
+  --size_;
+  const std::size_t n_buckets = mask_ + 1;
+  if (n_buckets > 64 && size_ * 4 < n_buckets) rebuild(n_buckets / 2);
+  return SimEvent{entry_time(e), e.key};
+}
+
+SimEvent EventQueue::cal_pop() {
+  ++ops_since_rebuild_;
+  std::size_t scanned = 0;
+  while (true) {
+    Bucket& bucket = buckets_[cur_epoch_ & mask_];
+    if (!bucket.empty()) {
+      // A bucket holding many live events means the day width is far
+      // too wide for the population (clustered event times), making
+      // every out-of-order push pay a long memmove. Re-fit the width to
+      // the population's actual spread — rate-limited to once per
+      // `size_` operations so an irreducible equal-time burst (span 0,
+      // width unchanged) cannot thrash.
+      if (bucket.entries.size() - bucket.head > kHotBucket &&
+          size_ >= 64 &&
+          (ops_since_rebuild_ > size_ ||
+           (!fitted_ &&
+            bucket.entries[bucket.head].tbits !=
+                bucket.entries.back().tbits))) {
+        rebuild(size_);
+        scanned = 0;
+        continue;
+      }
+      if (epoch_of(entry_time(bucket.min())) <= cur_epoch_) {
+        return take_front(bucket);
+      }
+    }
+    ++cur_epoch_;
+    if (++scanned > mask_ + 1) {
+      // A whole year of days without a due event: the population is
+      // sparse relative to the current width. Re-fit (widening the
+      // days) when allowed; otherwise fall back to a direct minimum
+      // search.
+      if (size_ >= 64 && ops_since_rebuild_ > size_) {
+        rebuild(size_);
+        scanned = 0;
+        continue;
+      }
+      return direct_search();
+    }
+  }
+}
+
+SimEvent EventQueue::direct_search() {
+  Bucket* best = nullptr;
+  for (Bucket& bucket : buckets_) {
+    if (bucket.empty()) continue;
+    if (best == nullptr || bucket.min() < best->min()) {
+      best = &bucket;
+    }
+  }
+  // size_ > 0 is the caller's precondition, so best is never null.
+  cur_epoch_ = epoch_of(entry_time(best->min()));
+  return take_front(*best);
+}
+
+void EventQueue::rebuild(std::size_t n_buckets) {
+  ops_since_rebuild_ = 0;
+  const std::size_t nb =
+      std::bit_ceil(std::max<std::size_t>(16, n_buckets));
+  // Collect the live population and its time spread.
+  std::vector<Entry> all;
+  all.reserve(size_);
+  for (Bucket& bucket : buckets_) {
+    all.insert(all.end(),
+               bucket.entries.begin() +
+                   static_cast<std::ptrdiff_t>(bucket.head),
+               bucket.entries.end());
+    bucket.entries.clear();
+    bucket.entries.shrink_to_fit();
+    bucket.head = 0;
+  }
+  buckets_.resize(nb);
+  mask_ = nb - 1;
+  if (all.empty()) return;
+  std::uint64_t min_bits = all.front().tbits;
+  std::uint64_t max_bits = all.front().tbits;
+  for (const Entry& e : all) {
+    min_bits = std::min(min_bits, e.tbits);
+    max_bits = std::max(max_bits, e.tbits);
+  }
+  const double span = std::bit_cast<double>(max_bits) -
+                      std::bit_cast<double>(min_bits);
+  if (span > 0.0) {
+    // Aim for ~0.5 events per day at the current population: the day
+    // is twice the mean inter-event gap.
+    width_ = std::max(kMinWidth,
+                      2.0 * span / static_cast<double>(all.size()));
+    fitted_ = true;
+  }
+  cur_epoch_ = epoch_of(std::bit_cast<double>(min_bits));
+  // Insert in globally sorted order so every bucket append hits the
+  // O(1) fast path.
+  std::sort(all.begin(), all.end());
+  for (const Entry& e : all) {
+    Bucket& bucket = buckets_[epoch_of(entry_time(e)) & mask_];
+    bucket.entries.push_back(e);
+  }
+}
+
+}  // namespace emc::sim

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "net/network.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/trace.hpp"
 #include "util/rng.hpp"
 
@@ -92,6 +93,13 @@ struct MachineConfig {
   /// occupancy serializes concurrent transfers (congestion shows up as
   /// kLinkWait trace events and SimResult::net_link_wait).
   net::NetworkConfig network;
+
+  /// Event-scheduler backend the simulators drain. kBinaryHeap is the
+  /// default oracle (bitwise identical to the seed); kCalendarQueue is
+  /// the O(1) backend for the P >= 10k regime. Both pop the identical
+  /// event sequence, so results never depend on this knob — only speed
+  /// does (tests/test_sim_schedulers.cpp pins the identity).
+  SchedulerKind scheduler = SchedulerKind::kBinaryHeap;
 
   /// When set, each simulate_* run exports its network counters here
   /// (net/messages, net/link_wait_seconds, net/hottest_link, ...) via
@@ -187,6 +195,8 @@ struct SimResult {
   std::int64_t net_congested = 0;        ///< messages that queued on a link
   double net_bytes = 0.0;                ///< payload bytes moved
   double net_link_wait = 0.0;            ///< total link-queue wait, seconds
+  std::int64_t events_processed = 0;     ///< event-loop pops (sim-speed
+                                         ///< denominator for events/sec)
   std::vector<TraceEvent> trace;         ///< typed events, if recorded
 
   /// Mean busy fraction = sum(busy) / (P * makespan); EXP-3's metric.

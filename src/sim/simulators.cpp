@@ -1,17 +1,21 @@
 #include "sim/simulators.hpp"
 
 #include <algorithm>
-#include <deque>
-#include <queue>
 #include <stdexcept>
-#include <tuple>
 
 #include "lb/simple.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/task_ring.hpp"
 #include "util/rng.hpp"
 
 namespace emc::sim {
 
 namespace {
+
+/// Proc ids are packed into event keys below this many bits of
+/// sequence number (see simulate_work_stealing), capping the simulated
+/// machine at 2M procs — an order of magnitude past the 100k target.
+constexpr int kProcBits = 21;
 
 /// Appends one typed event. Call sites guard on config.record_trace so
 /// tracing is zero-cost when disabled.
@@ -31,11 +35,27 @@ void check_inputs(const MachineConfig& config, std::span<const double> costs) {
   if (config.n_procs < 1) {
     throw std::invalid_argument("simulate: n_procs < 1");
   }
+  if (config.n_procs >= (1 << kProcBits)) {
+    throw std::invalid_argument("simulate: n_procs exceeds 2^21");
+  }
   if (config.procs_per_node < 1) {
     throw std::invalid_argument("simulate: procs_per_node < 1");
   }
   for (double c : costs) {
     if (c < 0.0) throw std::invalid_argument("simulate: negative task cost");
+  }
+}
+
+/// Sizes the per-proc accounting and, when tracing is on, pre-reserves
+/// the trace from the task count — traced runs append at least one
+/// event per task, and reserving up front eliminates the reallocation
+/// churn that dominated large traced runs.
+void init_result(SimResult& result, const MachineConfig& config,
+                 std::size_t n_tasks) {
+  result.busy.assign(static_cast<std::size_t>(config.n_procs), 0.0);
+  result.tasks_executed.assign(static_cast<std::size_t>(config.n_procs), 0);
+  if (config.record_trace) {
+    result.trace.reserve(n_tasks + n_tasks / 4 + 64);
   }
 }
 
@@ -150,26 +170,23 @@ double fetch_task_payload(const MachineConfig& config,
   return arrival;
 }
 
-/// Counter-family event heap entry. kIssue pops book the proc's request
-/// into the network — pops are globally time-ordered, which keeps link
-/// occupancy consistent even though request *arrivals* interleave —
-/// and push the matching kArrival. The (time, proc, kind) tie-break
-/// extends the seed's (arrival, proc) ordering, so arrivals are served
-/// in exactly the seed order and legacy runs stay bitwise identical.
+/// Counter-family events. kIssue pops book the proc's request into the
+/// network — pops are globally time-ordered, which keeps link occupancy
+/// consistent even though request *arrivals* interleave — and push the
+/// matching kArrival. Events are keyed (proc << 1) | kind, so the
+/// EventQueue's (time, key) order extends the seed's (arrival, proc)
+/// ordering exactly: arrivals are served in the seed order and legacy
+/// runs stay bitwise identical.
 enum class CounterEv : std::uint8_t { kIssue = 0, kArrival = 1 };
 
-struct CounterEvent {
-  double time = 0.0;
-  int proc = 0;
-  CounterEv kind = CounterEv::kIssue;
-
-  bool operator>(const CounterEvent& o) const {
-    return std::tie(time, proc, kind) > std::tie(o.time, o.proc, o.kind);
-  }
-};
-
-using CounterHeap = std::priority_queue<
-    CounterEvent, std::vector<CounterEvent>, std::greater<>>;
+std::uint64_t counter_key(int proc, CounterEv kind) {
+  return (static_cast<std::uint64_t>(proc) << 1) |
+         static_cast<std::uint64_t>(kind);
+}
+int counter_proc(std::uint64_t key) { return static_cast<int>(key >> 1); }
+CounterEv counter_kind(std::uint64_t key) {
+  return static_cast<CounterEv>(key & 1);
+}
 
 /// Per-proc retry bookkeeping for dropped one-sided ops.
 struct RetryState {
@@ -219,8 +236,7 @@ SimResult simulate_static(const MachineConfig& config,
   const auto speeds = draw_core_speeds(config);
   const FaultSchedule faults(config);
   SimResult result;
-  result.busy.assign(static_cast<std::size_t>(config.n_procs), 0.0);
-  result.tasks_executed.assign(static_cast<std::size_t>(config.n_procs), 0);
+  init_result(result, config, costs.size());
   record_fault_windows(result, config, faults);
 
   std::vector<double> finish(static_cast<std::size_t>(config.n_procs), 0.0);
@@ -229,6 +245,7 @@ SimResult simulate_static(const MachineConfig& config,
     const double exec = costs[t] / speeds[p];
     finish[p] = run_task(config, faults, result, static_cast<int>(p),
                          static_cast<std::int64_t>(t), finish[p], exec);
+    ++result.events_processed;
   }
   result.makespan = *std::max_element(finish.begin(), finish.end());
   return result;
@@ -255,8 +272,7 @@ SimResult simulate_counter(const MachineConfig& config,
   RetryState retries(config.n_procs);
   const auto n_tasks = static_cast<std::int64_t>(costs.size());
   SimResult result;
-  result.busy.assign(static_cast<std::size_t>(config.n_procs), 0.0);
-  result.tasks_executed.assign(static_cast<std::size_t>(config.n_procs), 0);
+  init_result(result, config, costs.size());
   record_fault_windows(result, config, faults);
 
   // Trapezoid self-scheduling parameters (Tzen & Ni): chunks shrink
@@ -294,28 +310,29 @@ SimResult simulate_counter(const MachineConfig& config,
   // kArrival is served by the counter home.
   net::NetworkModel network = make_network(config);
   const std::size_t ctrl = config.network.control_bytes;
-  CounterHeap heap;
+  EventQueue events(config.scheduler,
+                    static_cast<std::size_t>(config.n_procs));
   std::vector<double> issue_time(static_cast<std::size_t>(config.n_procs),
                                  0.0);
   std::vector<double> issue_wait(issue_time.size(), 0.0);
   for (int p = 0; p < config.n_procs; ++p) {
-    heap.push(CounterEvent{0.0, p, CounterEv::kIssue});
+    events.push(0.0, counter_key(p, CounterEv::kIssue));
   }
 
   double server_free = 0.0;
   std::int64_t next_task = 0;
   double makespan = 0.0;
 
-  while (!heap.empty()) {
-    const CounterEvent ev = heap.top();
-    heap.pop();
-    const int p = ev.proc;
+  while (!events.empty()) {
+    const SimEvent ev = events.pop();
+    ++result.events_processed;
+    const int p = counter_proc(ev.key);
     const auto pu = static_cast<std::size_t>(p);
-    if (ev.kind == CounterEv::kIssue) {
+    if (counter_kind(ev.key) == CounterEv::kIssue) {
       issue_time[pu] = ev.time;
       const double arrival =
           network.send(p, 0, ev.time, ctrl, &issue_wait[pu]);
-      heap.push(CounterEvent{arrival, p, CounterEv::kArrival});
+      events.push(arrival, counter_key(p, CounterEv::kArrival));
       continue;
     }
     const double issue = issue_time[pu];
@@ -324,7 +341,7 @@ SimResult simulate_counter(const MachineConfig& config,
         2.0 * network.base_latency(p, 0), 0);
     if (retry_at >= 0.0) {
       // Round trip dropped: the proc times out, backs off, reissues.
-      heap.push(CounterEvent{retry_at, p, CounterEv::kIssue});
+      events.push(retry_at, counter_key(p, CounterEv::kIssue));
       continue;
     }
     const double start =
@@ -360,7 +377,7 @@ SimResult simulate_counter(const MachineConfig& config,
       t = run_task(config, faults, result, p, i, t, exec);
     }
     makespan = std::max(makespan, t);
-    heap.push(CounterEvent{t, p, CounterEv::kIssue});
+    events.push(t, counter_key(p, CounterEv::kIssue));
   }
 
   result.makespan = makespan;
@@ -385,8 +402,7 @@ SimResult simulate_hierarchical_counter(const MachineConfig& config,
   const int n_nodes =
       (config.n_procs + config.procs_per_node - 1) / config.procs_per_node;
   SimResult result;
-  result.busy.assign(static_cast<std::size_t>(config.n_procs), 0.0);
-  result.tasks_executed.assign(static_cast<std::size_t>(config.n_procs), 0);
+  init_result(result, config, costs.size());
   record_fault_windows(result, config, faults);
 
   // Per-node proxy counter state: [range_next, range_end) plus server
@@ -401,29 +417,30 @@ SimResult simulate_hierarchical_counter(const MachineConfig& config,
 
   net::NetworkModel network = make_network(config);
   const std::size_t ctrl = config.network.control_bytes;
-  CounterHeap heap;
+  EventQueue events(config.scheduler,
+                    static_cast<std::size_t>(config.n_procs));
   std::vector<double> issue_time(static_cast<std::size_t>(config.n_procs),
                                  0.0);
   std::vector<double> issue_wait(issue_time.size(), 0.0);
   for (int p = 0; p < config.n_procs; ++p) {
-    heap.push(CounterEvent{0.0, p, CounterEv::kIssue});
+    events.push(0.0, counter_key(p, CounterEv::kIssue));
   }
 
   double makespan = 0.0;
-  while (!heap.empty()) {
-    const CounterEvent ev = heap.top();
-    heap.pop();
-    const int p = ev.proc;
+  while (!events.empty()) {
+    const SimEvent ev = events.pop();
+    ++result.events_processed;
+    const int p = counter_proc(ev.key);
     const auto pu = static_cast<std::size_t>(p);
     const int node = config.node_of(p);
     const auto nu = static_cast<std::size_t>(node);
     const int leader = node * config.procs_per_node;
 
-    if (ev.kind == CounterEv::kIssue) {
+    if (counter_kind(ev.key) == CounterEv::kIssue) {
       issue_time[pu] = ev.time;
       const double arrival =
           network.send(p, leader, ev.time, ctrl, &issue_wait[pu]);
-      heap.push(CounterEvent{arrival, p, CounterEv::kArrival});
+      events.push(arrival, counter_key(p, CounterEv::kArrival));
       continue;
     }
     const double issue = issue_time[pu];
@@ -431,7 +448,7 @@ SimResult simulate_hierarchical_counter(const MachineConfig& config,
         config, faults, result, p, issue,
         2.0 * network.base_latency(p, leader), leader);
     if (retry_at >= 0.0) {
-      heap.push(CounterEvent{retry_at, p, CounterEv::kIssue});
+      events.push(retry_at, counter_key(p, CounterEv::kIssue));
       continue;
     }
 
@@ -491,7 +508,7 @@ SimResult simulate_hierarchical_counter(const MachineConfig& config,
       done = run_task(config, faults, result, p, i, done, exec);
     }
     makespan = std::max(makespan, done);
-    heap.push(CounterEvent{done, p, CounterEv::kIssue});
+    events.push(done, counter_key(p, CounterEv::kIssue));
   }
 
   result.makespan = makespan;
@@ -528,8 +545,7 @@ SimResult simulate_hybrid(const MachineConfig& config,
   const FaultSchedule faults(config);
   RetryState retries(config.n_procs);
   SimResult result;
-  result.busy.assign(static_cast<std::size_t>(config.n_procs), 0.0);
-  result.tasks_executed.assign(static_cast<std::size_t>(config.n_procs), 0);
+  init_result(result, config, costs.size());
   record_fault_windows(result, config, faults);
 
   // Phase 1: static prefix.
@@ -540,18 +556,20 @@ SimResult simulate_hybrid(const MachineConfig& config,
     const double exec = costs[static_cast<std::size_t>(i)] / speeds[pu];
     finish[pu] = run_task(config, faults, result, static_cast<int>(pu), i,
                           finish[pu], exec);
+    ++result.events_processed;
   }
 
   // Phase 2: counter-scheduled tail; procs join as they finish.
   net::NetworkModel network = make_network(config);
   const std::size_t ctrl = config.network.control_bytes;
-  CounterHeap heap;
+  EventQueue events(config.scheduler,
+                    static_cast<std::size_t>(config.n_procs));
   std::vector<double> issue_time(static_cast<std::size_t>(config.n_procs),
                                  0.0);
   std::vector<double> issue_wait(issue_time.size(), 0.0);
   for (int p = 0; p < config.n_procs; ++p) {
-    heap.push(CounterEvent{finish[static_cast<std::size_t>(p)], p,
-                           CounterEv::kIssue});
+    events.push(finish[static_cast<std::size_t>(p)],
+                counter_key(p, CounterEv::kIssue));
   }
   double server_free = 0.0;
   std::int64_t next_task = split;
@@ -559,16 +577,16 @@ SimResult simulate_hybrid(const MachineConfig& config,
   double makespan = 0.0;
   for (double f : finish) makespan = std::max(makespan, f);
 
-  while (!heap.empty()) {
-    const CounterEvent ev = heap.top();
-    heap.pop();
-    const int p = ev.proc;
+  while (!events.empty()) {
+    const SimEvent ev = events.pop();
+    ++result.events_processed;
+    const int p = counter_proc(ev.key);
     const auto pu = static_cast<std::size_t>(p);
-    if (ev.kind == CounterEv::kIssue) {
+    if (counter_kind(ev.key) == CounterEv::kIssue) {
       issue_time[pu] = ev.time;
       const double arrival =
           network.send(p, 0, ev.time, ctrl, &issue_wait[pu]);
-      heap.push(CounterEvent{arrival, p, CounterEv::kArrival});
+      events.push(arrival, counter_key(p, CounterEv::kArrival));
       continue;
     }
     const double issue = issue_time[pu];
@@ -576,7 +594,7 @@ SimResult simulate_hybrid(const MachineConfig& config,
         config, faults, result, p, issue,
         2.0 * network.base_latency(p, 0), 0);
     if (retry_at >= 0.0) {
-      heap.push(CounterEvent{retry_at, p, CounterEv::kIssue});
+      events.push(retry_at, counter_key(p, CounterEv::kIssue));
       continue;
     }
     const double start =
@@ -610,7 +628,7 @@ SimResult simulate_hybrid(const MachineConfig& config,
       t = run_task(config, faults, result, p, i, t, exec);
     }
     makespan = std::max(makespan, t);
-    heap.push(CounterEvent{t, p, CounterEv::kIssue});
+    events.push(t, counter_key(p, CounterEv::kIssue));
   }
 
   result.makespan = makespan;
@@ -637,33 +655,31 @@ SimResult simulate_work_stealing(const MachineConfig& config,
   const std::size_t ctrl = config.network.control_bytes;
   const auto n_procs = static_cast<std::size_t>(config.n_procs);
   SimResult result;
-  result.busy.assign(n_procs, 0.0);
-  result.tasks_executed.assign(n_procs, 0);
+  init_result(result, config, costs.size());
   record_fault_windows(result, config, faults);
   if (executed_by != nullptr) {
     executed_by->assign(costs.size(), -1);
   }
 
-  // Per-proc LIFO queues; thieves take from the front (oldest tasks).
-  std::vector<std::deque<std::int64_t>> queues(n_procs);
+  // Per-proc LIFO queues (pooled chunked rings); thieves take from the
+  // front (oldest tasks).
+  TaskRingPool queues(config.n_procs,
+                      static_cast<std::int64_t>(costs.size()));
   for (std::size_t t = 0; t < initial.size(); ++t) {
-    queues[static_cast<std::size_t>(initial[t])].push_back(
-        static_cast<std::int64_t>(t));
+    queues.push_back(initial[t], static_cast<std::int64_t>(t));
   }
   std::size_t total_queued = costs.size();
 
-  struct Event {
-    double time;
-    std::uint64_t seq;  ///< deterministic tie-break
-    int proc;
-    bool operator>(const Event& o) const {
-      return std::tie(time, seq) > std::tie(o.time, o.seq);
-    }
-  };
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+  // Events are keyed by a monotone sequence number packed above the proc
+  // id: the (time, seq) order is the seed's deterministic tie-break, and
+  // the proc rides along in the low bits.
+  EventQueue events(config.scheduler, n_procs);
   std::uint64_t seq = 0;
+  auto event_key = [](std::uint64_t s, int proc) {
+    return (s << kProcBits) | static_cast<std::uint64_t>(proc);
+  };
   for (int p = 0; p < config.n_procs; ++p) {
-    events.push(Event{0.0, seq++, p});
+    events.push(0.0, event_key(seq++, p));
   }
 
   emc::Rng rng(options.seed);
@@ -672,6 +688,7 @@ SimResult simulate_work_stealing(const MachineConfig& config,
   std::vector<std::uint64_t> attempt_count(n_procs, 0);
 
   auto pick_victim = [&](int thief) -> int {
+    if (config.n_procs < 2) return thief;  // degenerate single-proc run
     switch (options.victim) {
       case VictimPolicy::kUniform: {
         const int raw = static_cast<int>(
@@ -707,7 +724,7 @@ SimResult simulate_work_stealing(const MachineConfig& config,
         return raw >= thief ? raw + 1 : raw;
       }
     }
-    return thief == 0 ? 1 : 0;
+    return thief;
   };
 
   auto execute = [&](int p, std::int64_t task, double start) {
@@ -719,67 +736,63 @@ SimResult simulate_work_stealing(const MachineConfig& config,
     const double done =
         run_task(config, faults, result, p, task, start, exec);
     makespan = std::max(makespan, done);
-    events.push(Event{done, seq++, p});
+    events.push(done, event_key(seq++, p));
   };
 
   while (!events.empty()) {
-    const Event ev = events.top();
-    events.pop();
-    const auto pu = static_cast<std::size_t>(ev.proc);
+    const SimEvent ev = events.pop();
+    ++result.events_processed;
+    const int proc = static_cast<int>(ev.key & ((1u << kProcBits) - 1));
 
-    if (!queues[pu].empty()) {
-      const std::int64_t task = queues[pu].back();
-      queues[pu].pop_back();
+    if (!queues.empty(proc)) {
+      const std::int64_t task = queues.pop_back(proc);
       --total_queued;
-      execute(ev.proc, task, ev.time);
+      execute(proc, task, ev.time);
       continue;
     }
     if (total_queued == 0) continue;  // park: nothing left to steal
     if (config.n_procs == 1) continue;
 
     // Steal attempt at a policy-selected victim.
-    const int victim = pick_victim(ev.proc);
-    const double rtt = 2.0 * network.base_latency(ev.proc, victim);
-    const double retry_at = retries.resolve(config, faults, result, ev.proc,
+    const int victim = pick_victim(proc);
+    const double rtt = 2.0 * network.base_latency(proc, victim);
+    const double retry_at = retries.resolve(config, faults, result, proc,
                                             ev.time, rtt, victim);
     if (retry_at >= 0.0) {
       // Steal request dropped in flight: back off and try again.
-      events.push(Event{retry_at, seq++, ev.proc});
+      events.push(retry_at, event_key(seq++, proc));
       continue;
     }
     ++result.steal_attempts;
-    const auto vu = static_cast<std::size_t>(victim);
 
-    if (queues[vu].empty()) {
+    if (queues.empty(victim)) {
       double wait = 0.0;
       const double response =
-          network.round_trip(ev.proc, victim, ev.time, ctrl, ctrl, &wait);
+          network.round_trip(proc, victim, ev.time, ctrl, ctrl, &wait);
       result.steal_wait += response - ev.time;
       if (config.record_trace) {
-        record(result, TraceEventType::kStealFail, ev.proc, ev.time,
+        record(result, TraceEventType::kStealFail, proc, ev.time,
                response, -1, victim);
         if (wait > 0.0) {
-          record(result, TraceEventType::kLinkWait, ev.proc, ev.time,
+          record(result, TraceEventType::kLinkWait, proc, ev.time,
                  ev.time + wait, -1, victim);
         }
       }
-      events.push(
-          Event{response + config.steal_fail_retry, seq++, ev.proc});
+      events.push(response + config.steal_fail_retry,
+                  event_key(seq++, proc));
       continue;
     }
 
     ++result.steals;
-    const std::int64_t task = queues[vu].front();
-    queues[vu].pop_front();
+    const std::int64_t task = queues.pop_front(victim);
     --total_queued;
     std::size_t migrated = 0;
     if (options.steal_half) {
       // Migrate up to half of the victim's remaining queue.
-      std::size_t extra = queues[vu].size() / 2;
+      std::size_t extra = queues.size(victim) / 2;
       migrated = extra;
       while (extra-- > 0) {
-        queues[pu].push_back(queues[vu].front());
-        queues[vu].pop_front();
+        queues.push_back(proc, queues.pop_front(victim));
       }
     }
     // The response carries the stolen task(s): control header plus one
@@ -787,18 +800,18 @@ SimResult simulate_work_stealing(const MachineConfig& config,
     const std::size_t resp_bytes =
         ctrl + (1 + migrated) * config.network.task_payload_bytes;
     double wait = 0.0;
-    const double response = network.round_trip(ev.proc, victim, ev.time,
+    const double response = network.round_trip(proc, victim, ev.time,
                                                ctrl, resp_bytes, &wait);
     result.steal_wait += response - ev.time;
     if (config.record_trace) {
-      record(result, TraceEventType::kStealSuccess, ev.proc, ev.time,
+      record(result, TraceEventType::kStealSuccess, proc, ev.time,
              response, task, victim);
       if (wait > 0.0) {
-        record(result, TraceEventType::kLinkWait, ev.proc, ev.time,
+        record(result, TraceEventType::kLinkWait, proc, ev.time,
                ev.time + wait, task, victim);
       }
     }
-    execute(ev.proc, task, response);
+    execute(proc, task, response);
   }
 
   result.makespan = makespan;

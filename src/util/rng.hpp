@@ -61,9 +61,13 @@ class Rng {
   /// Uniform double in [lo, hi).
   double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
 
-  /// Uniform integer in [0, n). n must be > 0. Uses Lemire's method
-  /// with rejection to avoid modulo bias.
+  /// Uniform integer in [0, n). Uses Lemire's method with rejection to
+  /// avoid modulo bias. n == 0 denotes an empty range — e.g. victim
+  /// selection on a 1-proc machine, where there is no one to steal from
+  /// — and returns 0 without consuming a draw, so degenerate callers
+  /// stay replayable and never hit the multiply-by-zero Lemire path.
   std::uint64_t below(std::uint64_t n) {
+    if (n == 0) return 0;
     __uint128_t m = static_cast<__uint128_t>((*this)()) * n;
     auto lo = static_cast<std::uint64_t>(m);
     if (lo < n) {

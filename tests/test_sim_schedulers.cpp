@@ -1,0 +1,484 @@
+// Event-scheduler backends (sim/event_queue.hpp), the pooled task rings
+// (sim/task_ring.hpp), and the cross-scheduler determinism contract:
+// every simulator must produce bitwise-identical SimResults whether it
+// drains the binary-heap oracle or the calendar queue — across
+// execution models, fault models, and network topologies. This identity
+// is what lets the calendar core replace the heap at scale without
+// re-validating a single experiment.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "lb/simple.hpp"
+#include "net/topology.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulators.hpp"
+#include "sim/task_ring.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace emc;
+using namespace emc::sim;
+
+// --- EventQueue unit tests -----------------------------------------------
+
+/// Drains `queue` and asserts the pop order matches sorting `pushed` by
+/// (time, key).
+void expect_sorted_drain(EventQueue& queue,
+                         std::vector<SimEvent> pushed) {
+  std::sort(pushed.begin(), pushed.end(),
+            [](const SimEvent& a, const SimEvent& b) {
+              return a.time != b.time ? a.time < b.time : a.key < b.key;
+            });
+  for (const SimEvent& want : pushed) {
+    ASSERT_FALSE(queue.empty());
+    const SimEvent got = queue.pop();
+    ASSERT_EQ(got.time, want.time);
+    ASSERT_EQ(got.key, want.key);
+  }
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, PopsInTimeKeyOrderBothBackends) {
+  for (SchedulerKind kind :
+       {SchedulerKind::kBinaryHeap, SchedulerKind::kCalendarQueue}) {
+    EventQueue queue(kind, 16);
+    Rng rng(42);
+    std::vector<SimEvent> pushed;
+    for (int i = 0; i < 5000; ++i) {
+      const double t = rng.uniform() * 1e-3;
+      const std::uint64_t key = static_cast<std::uint64_t>(i);
+      queue.push(t, key);
+      pushed.push_back(SimEvent{t, key});
+    }
+    expect_sorted_drain(queue, pushed);
+  }
+}
+
+TEST(EventQueue, EqualTimesBreakTiesByKey) {
+  for (SchedulerKind kind :
+       {SchedulerKind::kBinaryHeap, SchedulerKind::kCalendarQueue}) {
+    EventQueue queue(kind, 16);
+    // A burst of equal timestamps (the t=0 initial-event burst every
+    // simulator produces) must pop in key order.
+    std::vector<SimEvent> pushed;
+    for (int i = 999; i >= 0; --i) {
+      queue.push(0.0, static_cast<std::uint64_t>(i));
+      pushed.push_back(SimEvent{0.0, static_cast<std::uint64_t>(i)});
+    }
+    expect_sorted_drain(queue, pushed);
+  }
+}
+
+TEST(EventQueue, InterleavedPushPopStaysOrdered) {
+  // DES-style usage: pops interleaved with pushes of later timestamps,
+  // occasionally far in the future (forcing bucket-year wraparounds).
+  EventQueue heap(SchedulerKind::kBinaryHeap, 8);
+  EventQueue cal(SchedulerKind::kCalendarQueue, 8);
+  Rng rng(7);
+  std::uint64_t key = 0;
+  for (int p = 0; p < 64; ++p) {
+    heap.push(0.0, key);
+    cal.push(0.0, key);
+    ++key;
+  }
+  for (int step = 0; step < 20000; ++step) {
+    ASSERT_EQ(heap.empty(), cal.empty());
+    if (heap.empty()) break;
+    const SimEvent a = heap.pop();
+    const SimEvent b = cal.pop();
+    ASSERT_EQ(a.time, b.time);
+    ASSERT_EQ(a.key, b.key);
+    if (step < 15000) {
+      // Mostly small increments; sometimes a jump far past the year.
+      const double jump =
+          rng.uniform() < 0.01 ? rng.uniform() * 1e2 : rng.uniform() * 1e-6;
+      heap.push(a.time + jump, key);
+      cal.push(a.time + jump, key);
+      ++key;
+    }
+  }
+}
+
+TEST(EventQueue, GrowsAndShrinksThroughPopulationSwings) {
+  EventQueue cal(SchedulerKind::kCalendarQueue, 4);
+  std::vector<SimEvent> pushed;
+  Rng rng(11);
+  // Grow to 100k events (many rebuilds), then drain (shrink rebuilds).
+  for (int i = 0; i < 100000; ++i) {
+    const double t = rng.uniform() * 10.0;
+    cal.push(t, static_cast<std::uint64_t>(i));
+    pushed.push_back(SimEvent{t, static_cast<std::uint64_t>(i)});
+  }
+  EXPECT_EQ(cal.size(), pushed.size());
+  expect_sorted_drain(cal, pushed);
+}
+
+TEST(EventQueue, PushBeforeCurrentEpochRewinds) {
+  EventQueue cal(SchedulerKind::kCalendarQueue, 4);
+  cal.push(1.0, 1);
+  EXPECT_EQ(cal.pop().key, 1u);
+  // The scan day is now around t=1.0; an earlier event must still pop
+  // first against a later one.
+  cal.push(2.0, 2);
+  cal.push(0.5, 3);
+  EXPECT_EQ(cal.pop().key, 3u);
+  EXPECT_EQ(cal.pop().key, 2u);
+  EXPECT_TRUE(cal.empty());
+}
+
+TEST(EventQueue, ParsesAndNamesSchedulers) {
+  EXPECT_EQ(parse_scheduler("heap"), SchedulerKind::kBinaryHeap);
+  EXPECT_EQ(parse_scheduler("calendar"), SchedulerKind::kCalendarQueue);
+  EXPECT_EQ(parse_scheduler("calendar-queue"),
+            SchedulerKind::kCalendarQueue);
+  EXPECT_STREQ(scheduler_name(SchedulerKind::kBinaryHeap), "heap");
+  EXPECT_STREQ(scheduler_name(SchedulerKind::kCalendarQueue), "calendar");
+  EXPECT_THROW(parse_scheduler("splay"), std::invalid_argument);
+}
+
+// --- TaskRingPool unit tests ---------------------------------------------
+
+TEST(TaskRingPool, MatchesDequeAcrossChunkBoundaries) {
+  // Differential test against std::deque over a scripted op sequence
+  // that repeatedly crosses the 32-task chunk boundary in both
+  // directions and migrates between queues (the steal pattern).
+  const int n_queues = 4;
+  TaskRingPool pool(n_queues, 8);  // deliberately undersized: must grow
+  std::vector<std::deque<std::int64_t>> ref(n_queues);
+  Rng rng(3);
+  std::int64_t next = 0;
+  for (int step = 0; step < 200000; ++step) {
+    const int q = static_cast<int>(rng.below(n_queues));
+    const double r = rng.uniform();
+    ASSERT_EQ(pool.size(q), ref[static_cast<std::size_t>(q)].size());
+    if (r < 0.45 || ref[static_cast<std::size_t>(q)].empty()) {
+      pool.push_back(q, next);
+      ref[static_cast<std::size_t>(q)].push_back(next);
+      ++next;
+    } else if (r < 0.75) {
+      ASSERT_EQ(pool.pop_back(q), ref[static_cast<std::size_t>(q)].back());
+      ref[static_cast<std::size_t>(q)].pop_back();
+    } else {
+      ASSERT_EQ(pool.pop_front(q),
+                ref[static_cast<std::size_t>(q)].front());
+      ref[static_cast<std::size_t>(q)].pop_front();
+    }
+  }
+  for (int q = 0; q < n_queues; ++q) {
+    while (!ref[static_cast<std::size_t>(q)].empty()) {
+      ASSERT_EQ(pool.pop_front(q), ref[static_cast<std::size_t>(q)].front());
+      ref[static_cast<std::size_t>(q)].pop_front();
+    }
+    EXPECT_TRUE(pool.empty(q));
+  }
+}
+
+TEST(TaskRingPool, ExactChunkMultiples) {
+  // Queues that land exactly on chunk boundaries (the off-by-one zone).
+  TaskRingPool pool(1, 0);
+  for (int round : {32, 64, 96}) {
+    for (int i = 0; i < round; ++i) pool.push_back(0, i);
+    EXPECT_EQ(pool.size(0), static_cast<std::size_t>(round));
+    for (int i = 0; i < round; ++i) {
+      EXPECT_EQ(pool.pop_front(0), i);
+    }
+    EXPECT_TRUE(pool.empty(0));
+  }
+  for (int round : {32, 64}) {
+    for (int i = 0; i < round; ++i) pool.push_back(0, i);
+    for (int i = round - 1; i >= 0; --i) {
+      EXPECT_EQ(pool.pop_back(0), i);
+    }
+    EXPECT_TRUE(pool.empty(0));
+  }
+}
+
+// --- Cross-scheduler bitwise determinism ---------------------------------
+
+void expect_bitwise_equal(const SimResult& a, const SimResult& b,
+                          const std::string& what) {
+  SCOPED_TRACE(what);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.busy, b.busy);
+  EXPECT_EQ(a.tasks_executed, b.tasks_executed);
+  EXPECT_EQ(a.steals, b.steals);
+  EXPECT_EQ(a.steal_attempts, b.steal_attempts);
+  EXPECT_EQ(a.counter_ops, b.counter_ops);
+  EXPECT_EQ(a.counter_wait, b.counter_wait);
+  EXPECT_EQ(a.steal_wait, b.steal_wait);
+  EXPECT_EQ(a.op_retries, b.op_retries);
+  EXPECT_EQ(a.tasks_reexecuted, b.tasks_reexecuted);
+  EXPECT_EQ(a.net_messages, b.net_messages);
+  EXPECT_EQ(a.net_congested, b.net_congested);
+  EXPECT_EQ(a.net_bytes, b.net_bytes);
+  EXPECT_EQ(a.net_link_wait, b.net_link_wait);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(a.trace[i].type),
+              static_cast<int>(b.trace[i].type));
+    EXPECT_EQ(a.trace[i].proc, b.trace[i].proc);
+    EXPECT_EQ(a.trace[i].peer, b.trace[i].peer);
+    EXPECT_EQ(a.trace[i].task, b.trace[i].task);
+    EXPECT_EQ(a.trace[i].start, b.trace[i].start);
+    EXPECT_EQ(a.trace[i].end, b.trace[i].end);
+  }
+}
+
+std::vector<double> scheduler_test_costs(std::size_t n,
+                                         std::uint64_t seed = 5) {
+  std::vector<double> costs(n);
+  Rng rng(seed);
+  for (double& c : costs) c = rng.uniform(0.2e-6, 8.0e-6);
+  return costs;
+}
+
+/// Runs `simulate` under both schedulers on otherwise-identical
+/// machines and asserts bitwise-equal results.
+template <typename F>
+void expect_scheduler_invariant(MachineConfig config, F&& simulate,
+                                const std::string& what) {
+  config.scheduler = SchedulerKind::kBinaryHeap;
+  const SimResult heap = simulate(config);
+  config.scheduler = SchedulerKind::kCalendarQueue;
+  const SimResult cal = simulate(config);
+  EXPECT_GT(heap.events_processed, 0) << what;
+  expect_bitwise_equal(heap, cal, what);
+}
+
+MachineConfig scheduler_test_machine(int procs, bool trace = true) {
+  MachineConfig config;
+  config.n_procs = procs;
+  config.procs_per_node = 8;
+  config.noise_amplitude = 0.1;
+  config.record_trace = trace;
+  return config;
+}
+
+TEST(SchedulerDeterminism, AllModelsLegacyNetwork) {
+  const auto costs = scheduler_test_costs(700);
+  const MachineConfig config = scheduler_test_machine(48);
+  const lb::Assignment block = lb::block_assignment(costs.size(), 48);
+
+  expect_scheduler_invariant(
+      config,
+      [&](const MachineConfig& m) { return simulate_counter(m, costs, 1); },
+      "counter chunk=1");
+  expect_scheduler_invariant(
+      config,
+      [&](const MachineConfig& m) { return simulate_counter(m, costs, 8); },
+      "counter chunk=8");
+  CounterOptions guided;
+  guided.chunk = 2;
+  guided.policy = ChunkPolicy::kGuided;
+  expect_scheduler_invariant(
+      config,
+      [&](const MachineConfig& m) {
+        return simulate_counter(m, costs, guided);
+      },
+      "counter guided");
+  expect_scheduler_invariant(
+      config,
+      [&](const MachineConfig& m) {
+        return simulate_hierarchical_counter(m, costs, 32, 4);
+      },
+      "hierarchical counter");
+  expect_scheduler_invariant(
+      config,
+      [&](const MachineConfig& m) {
+        return simulate_hybrid(m, costs, block, 0.3, 2);
+      },
+      "hybrid");
+  for (VictimPolicy victim : {VictimPolicy::kUniform, VictimPolicy::kRing,
+                              VictimPolicy::kNodeFirst}) {
+    StealOptions steal;
+    steal.victim = victim;
+    expect_scheduler_invariant(
+        config,
+        [&](const MachineConfig& m) {
+          return simulate_work_stealing(m, costs, block, steal);
+        },
+        "work stealing victim=" +
+            std::to_string(static_cast<int>(victim)));
+  }
+}
+
+TEST(SchedulerDeterminism, FaultModels) {
+  const auto costs = scheduler_test_costs(500);
+  MachineConfig config = scheduler_test_machine(32);
+  config.faults.fault_prob = 0.3;
+  config.faults.onset_min = 0.0;
+  config.faults.onset_max = 20.0e-6;
+  config.faults.duration = 10.0e-6;
+  config.faults.slowdown_factor = 0.0;  // full stalls with re-execution
+  config.faults.drop_prob = 0.1;
+  config.faults.outage_start = 5.0e-6;
+  config.faults.outage_duration = 5.0e-6;
+  const lb::Assignment block = lb::block_assignment(costs.size(), 32);
+
+  expect_scheduler_invariant(
+      config,
+      [&](const MachineConfig& m) { return simulate_counter(m, costs, 2); },
+      "faulted counter");
+  expect_scheduler_invariant(
+      config,
+      [&](const MachineConfig& m) {
+        return simulate_hierarchical_counter(m, costs, 16, 2);
+      },
+      "faulted hierarchical");
+  expect_scheduler_invariant(
+      config,
+      [&](const MachineConfig& m) {
+        return simulate_work_stealing(m, costs, block);
+      },
+      "faulted work stealing");
+}
+
+TEST(SchedulerDeterminism, ContendedTopologies) {
+  const auto costs = scheduler_test_costs(600);
+  const lb::Assignment block = lb::block_assignment(costs.size(), 32);
+  for (net::TopologyKind topo :
+       {net::TopologyKind::kCrossbar, net::TopologyKind::kFatTree,
+        net::TopologyKind::kTorus}) {
+    for (net::CongestionMode mode : {net::CongestionMode::kPerMessage,
+                                     net::CongestionMode::kFlow}) {
+      MachineConfig config = scheduler_test_machine(32);
+      config.network.topology = topo;
+      config.network.congestion = mode;
+      config.network.oversubscription = 2;
+      config.network.link_bandwidth = 1.0e8;  // slow: congestion matters
+      config.network.task_payload_bytes = 4096;
+      const std::string what =
+          std::string(net::topology_name(topo)) + "/" +
+          net::congestion_name(mode);
+      expect_scheduler_invariant(
+          config,
+          [&](const MachineConfig& m) {
+            return simulate_counter(m, costs, 2);
+          },
+          what + " counter");
+      expect_scheduler_invariant(
+          config,
+          [&](const MachineConfig& m) {
+            return simulate_work_stealing(m, costs, block);
+          },
+          what + " work stealing");
+    }
+  }
+}
+
+TEST(SchedulerDeterminism, MultiRoundModels) {
+  const auto costs = scheduler_test_costs(400);
+  MachineConfig config = scheduler_test_machine(24, /*trace=*/false);
+  const lb::Assignment block = lb::block_assignment(costs.size(), 24);
+
+  config.scheduler = SchedulerKind::kBinaryHeap;
+  const auto heap_rounds = simulate_retentive(config, costs, block, 3);
+  config.scheduler = SchedulerKind::kCalendarQueue;
+  const auto cal_rounds = simulate_retentive(config, costs, block, 3);
+  ASSERT_EQ(heap_rounds.size(), cal_rounds.size());
+  for (std::size_t r = 0; r < heap_rounds.size(); ++r) {
+    expect_bitwise_equal(heap_rounds[r], cal_rounds[r],
+                         "retentive round " + std::to_string(r));
+  }
+}
+
+// --- Flow congestion mode ------------------------------------------------
+
+TEST(FlowCongestion, DeterministicAndBounded) {
+  const auto costs = scheduler_test_costs(800);
+  MachineConfig config = scheduler_test_machine(64, /*trace=*/false);
+  config.network.topology = net::TopologyKind::kCrossbar;
+  config.network.congestion = net::CongestionMode::kFlow;
+  config.network.link_bandwidth = 1.0e8;
+  const SimResult a = simulate_counter(config, costs, 1);
+  const SimResult b = simulate_counter(config, costs, 1);
+  expect_bitwise_equal(a, b, "flow replay");
+  EXPECT_TRUE(std::isfinite(a.makespan));
+  EXPECT_GT(a.makespan, 0.0);
+  // The congested fabric must cost something relative to legacy.
+  config.network.topology = net::TopologyKind::kLegacyFlat;
+  const SimResult flat = simulate_counter(config, costs, 1);
+  EXPECT_GE(a.makespan, flat.makespan);
+  EXPECT_GT(a.net_link_wait, 0.0);
+}
+
+TEST(FlowCongestion, ParsesAndNamesModes) {
+  EXPECT_EQ(net::parse_congestion("per-message"),
+            net::CongestionMode::kPerMessage);
+  EXPECT_EQ(net::parse_congestion("flow"), net::CongestionMode::kFlow);
+  EXPECT_STREQ(net::congestion_name(net::CongestionMode::kFlow), "flow");
+  EXPECT_THROW(net::parse_congestion("psychic"), std::invalid_argument);
+}
+
+// --- Degenerate machines (P = 1) -----------------------------------------
+
+TEST(DegenerateMachines, SingleProcWorkStealingAllPolicies) {
+  // P = 1: there is no victim to pick; the run must terminate and
+  // execute everything locally with zero steal traffic. Regression for
+  // the rng.below(0) / pick_victim(P-1 = 0) edge.
+  const auto costs = scheduler_test_costs(100);
+  const lb::Assignment all_zero(costs.size(), 0);
+  for (VictimPolicy victim : {VictimPolicy::kUniform, VictimPolicy::kRing,
+                              VictimPolicy::kNodeFirst}) {
+    for (SchedulerKind kind :
+         {SchedulerKind::kBinaryHeap, SchedulerKind::kCalendarQueue}) {
+      MachineConfig config;
+      config.n_procs = 1;
+      config.procs_per_node = 1;
+      config.scheduler = kind;
+      StealOptions steal;
+      steal.victim = victim;
+      const SimResult r =
+          simulate_work_stealing(config, costs, all_zero, steal);
+      EXPECT_EQ(r.tasks_executed[0],
+                static_cast<std::int64_t>(costs.size()));
+      EXPECT_EQ(r.steals, 0);
+      EXPECT_EQ(r.steal_attempts, 0);
+      EXPECT_GT(r.makespan, 0.0);
+    }
+  }
+}
+
+TEST(DegenerateMachines, SingleProcCounterFamily) {
+  const auto costs = scheduler_test_costs(50);
+  MachineConfig config;
+  config.n_procs = 1;
+  config.procs_per_node = 1;
+  const SimResult counter = simulate_counter(config, costs, 1);
+  EXPECT_EQ(counter.tasks_executed[0],
+            static_cast<std::int64_t>(costs.size()));
+  const SimResult hier =
+      simulate_hierarchical_counter(config, costs, 8, 2);
+  EXPECT_EQ(hier.tasks_executed[0],
+            static_cast<std::int64_t>(costs.size()));
+  const lb::Assignment all_zero(costs.size(), 0);
+  const SimResult hybrid = simulate_hybrid(config, costs, all_zero, 0.5);
+  EXPECT_EQ(hybrid.tasks_executed[0],
+            static_cast<std::int64_t>(costs.size()));
+}
+
+TEST(DegenerateMachines, RngBelowZeroIsIdentityWithoutDraw) {
+  Rng a(123);
+  Rng b(123);
+  EXPECT_EQ(a.below(0), 0u);
+  // The guarded call must not have consumed a draw: streams stay equal.
+  EXPECT_EQ(a(), b());
+}
+
+TEST(DegenerateMachines, OversizedProcCountThrows) {
+  MachineConfig config;
+  config.n_procs = 1 << 21;  // exceeds the event-key proc field
+  const std::vector<double> costs(4, 1.0e-6);
+  EXPECT_THROW(simulate_counter(config, costs, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
