@@ -2,7 +2,8 @@
 
 // Shared helpers for the experiment benches: standard workloads, the
 // header every bench prints so runs are self-describing and replayable,
-// and the JSON report writer the artifact-emitting benches share.
+// and (via manifest.hpp) the provenance envelope + run footer every
+// artifact-emitting bench stamps into its BENCH_*.json report.
 
 #include <algorithm>
 #include <cmath>
@@ -13,35 +14,17 @@
 #include <string>
 #include <vector>
 
-#if defined(__unix__) || defined(__APPLE__)
-#include <sys/resource.h>
-#endif
-
 #include "core/experiment.hpp"
 #include "core/task_model.hpp"
+#include "manifest.hpp"
 #include "sim/machine.hpp"
+#include "util/json.hpp"
 
 namespace emc::bench {
 
-/// Peak resident-set size of this process so far, in bytes (0 where the
-/// platform offers no getrusage). Linux reports ru_maxrss in KiB, macOS
-/// in bytes; both are high-water marks, so call it at the end of a run
-/// — or between phases to attribute growth — and report it alongside
-/// timing: events/sec without the memory footprint hides half the
-/// scalability story.
-inline std::int64_t peak_rss_bytes() {
-#if defined(__unix__) || defined(__APPLE__)
-  rusage usage{};
-  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
-#if defined(__APPLE__)
-  return static_cast<std::int64_t>(usage.ru_maxrss);
-#else
-  return static_cast<std::int64_t>(usage.ru_maxrss) * 1024;
-#endif
-#else
-  return 0;
-#endif
-}
+/// The streaming report emitter now lives in util/json.hpp (one escaping
+/// path for every writer); the alias keeps bench code reading naturally.
+using JsonWriter = util::JsonWriter;
 
 /// Machine setup shared by every bench driver. `ppn > 0` pins the
 /// procs-per-node (clamped to `procs`, typically from a --ppn flag);
@@ -55,143 +38,6 @@ inline sim::MachineConfig make_machine(int procs, int ppn = 0) {
       ppn > 0 ? std::min(ppn, procs) : std::min(16, procs);
   return config;
 }
-
-/// Streaming JSON emitter with automatic comma/indent management, shared
-/// by every bench that writes a machine-readable report (BENCH_*.json).
-/// Usage mirrors the document structure:
-///
-///   JsonWriter w(out);
-///   w.begin_object();
-///   w.field("bench", "bench_kernel");
-///   w.begin_array("classes");
-///   w.begin_object(); w.field("speedup", 3.1); w.end_object();
-///   w.end_array();
-///   w.end_object();
-///
-/// raw() splices pre-rendered JSON (e.g. MetricsRegistry::write_json
-/// output) as a value without re-parsing it. Keys are expected to be
-/// code-controlled; string values get minimal escaping (quote,
-/// backslash, control characters).
-class JsonWriter {
- public:
-  explicit JsonWriter(std::ostream& out) : out_(out) {}
-
-  void begin_object() { open('{'); }
-  void begin_object(const std::string& key) { open_keyed(key, '{'); }
-  void end_object() { close('}'); }
-  void begin_array(const std::string& key) { open_keyed(key, '['); }
-  void end_array() { close(']'); }
-
-  void field(const std::string& key, const std::string& value) {
-    key_prefix(key);
-    out_ << quoted(value);
-  }
-  void field(const std::string& key, const char* value) {
-    field(key, std::string(value));
-  }
-  /// NaN/Inf have no JSON representation (streaming them produces `nan`
-  /// / `inf` tokens no parser accepts) — they are emitted as null.
-  void field(const std::string& key, double value) {
-    key_prefix(key);
-    write_double(value);
-  }
-  void field(const std::string& key, std::int64_t value) {
-    key_prefix(key);
-    out_ << value;
-  }
-  void field(const std::string& key, int value) {
-    field(key, static_cast<std::int64_t>(value));
-  }
-  void field(const std::string& key, std::uint64_t value) {
-    key_prefix(key);
-    out_ << value;
-  }
-  void field(const std::string& key, bool value) {
-    key_prefix(key);
-    out_ << (value ? "true" : "false");
-  }
-  /// Splices `json` verbatim as the value of `key`.
-  void raw(const std::string& key, const std::string& json) {
-    key_prefix(key);
-    out_ << json;
-  }
-  /// Scalar array element (null for NaN/Inf, as with field()).
-  void value(double v) {
-    element_prefix();
-    write_double(v);
-  }
-
- private:
-  void write_double(double v) {
-    if (std::isfinite(v)) {
-      out_ << v;
-    } else {
-      out_ << "null";
-    }
-  }
-
-  struct Frame {
-    bool is_array = false;
-    int count = 0;
-  };
-
-  static std::string quoted(const std::string& s) {
-    std::string q = "\"";
-    for (char c : s) {
-      if (c == '"' || c == '\\') {
-        q += '\\';
-        q += c;
-      } else if (static_cast<unsigned char>(c) < 0x20) {
-        char buf[8];
-        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-        q += buf;
-      } else {
-        q += c;
-      }
-    }
-    q += '"';
-    return q;
-  }
-
-  void indent() {
-    for (std::size_t i = 0; i < stack_.size(); ++i) out_ << "  ";
-  }
-  /// Comma + newline + indent before an element of the enclosing frame.
-  void element_prefix() {
-    if (!stack_.empty()) {
-      if (stack_.back().count++ > 0) out_ << ",";
-      out_ << "\n";
-      indent();
-    }
-  }
-  void key_prefix(const std::string& key) {
-    element_prefix();
-    out_ << quoted(key) << ": ";
-  }
-  void open(char bracket) {
-    element_prefix();
-    out_ << bracket;
-    stack_.push_back(Frame{bracket == '[', 0});
-  }
-  void open_keyed(const std::string& key, char bracket) {
-    key_prefix(key);
-    out_ << bracket;
-    stack_.push_back(Frame{bracket == '[', 0});
-  }
-  void close(char bracket) {
-    const bool had_elements = !stack_.empty() && stack_.back().count > 0;
-    if (!stack_.empty()) stack_.pop_back();
-    if (had_elements) {
-      out_ << "\n";
-      indent();
-    }
-    out_ << bracket;
-    if (stack_.empty()) out_ << "\n";
-  }
-
-  std::ostream& out_;
-  std::vector<Frame> stack_;
-};
 
 /// Standard workload for cluster-scale simulations: a 27-molecule water
 /// cluster (135 shells, 9180 shell-pair tasks) — large enough for 1024

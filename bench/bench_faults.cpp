@@ -305,9 +305,10 @@ int run(const Options& opt) {
     }
     emc::bench::JsonWriter json(out);
     json.begin_object();
+    emc::bench::write_manifest(json, "bench_faults",
+                               opt.smoke ? "smoke" : "full", 0);
     json.field("bench", "bench_faults");
     json.field("experiment", "EXP-9b");
-    json.field("peak_rss_bytes", emc::bench::peak_rss_bytes());
     json.field("molecule", opt.molecule);
     json.field("procs", opt.procs);
     json.field("tasks", static_cast<std::int64_t>(model.task_count()));
@@ -346,16 +347,23 @@ int run(const Options& opt) {
     json.field("op_retries", fock.op_retries);
     json.field("nxtval_retries", fock.nxtval_retries);
     json.end_object();
+    emc::bench::write_run_footer(json);
     json.end_object();
   }
 
-  // Validate the artifact with the strict parser (rejects NaN/Inf).
+  // Validate the artifact with the strict parser (rejects NaN/Inf) and
+  // check the manifest envelope.
   {
     std::ifstream in(opt.report_path);
     std::ostringstream buf;
     buf << in.rdbuf();
     try {
-      util::parse_json(buf.str());
+      const util::JsonValue doc = util::parse_json(buf.str());
+      const std::string bad = emc::bench::manifest_error(doc);
+      if (!bad.empty()) {
+        std::cerr << "FAIL: report manifest invalid: " << bad << "\n";
+        return 1;
+      }
     } catch (const std::exception& e) {
       std::cerr << "FAIL: " << opt.report_path << " is invalid JSON: "
                 << e.what() << "\n";

@@ -24,6 +24,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -337,9 +338,9 @@ int run_smoke(const std::string& json_path, double min_speedup,
   {
     emc::bench::JsonWriter json(out);
     json.begin_object();
+    emc::bench::write_manifest(json, "bench_kernel", "smoke", seed);
     json.field("bench", "bench_kernel");
     json.field("mode", "smoke");
-    json.field("peak_rss_bytes", emc::bench::peak_rss_bytes());
     json.field("seed", seed);
     json.begin_array("quartet_classes");
     for (const ClassResult& c : classes) {
@@ -365,10 +366,28 @@ int run_smoke(const std::string& json_path, double min_speedup,
     json.field("accuracy_ok", accuracy_ok);
     json.field("passed", passed);
     json.end_object();
+    emc::bench::write_run_footer(json);
     json.end_object();
   }
   out.close();
   std::cout << "wrote " << json_path << "\n";
+
+  {
+    std::ifstream in(json_path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    try {
+      const emc::util::JsonValue doc = emc::util::parse_json(buf.str());
+      const std::string bad = emc::bench::manifest_error(doc);
+      if (!bad.empty()) {
+        std::cerr << "FAIL: report manifest invalid: " << bad << "\n";
+        return 1;
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "FAIL: report is not valid JSON: " << e.what() << "\n";
+      return 1;
+    }
+  }
 
   if (!accuracy_ok) {
     std::cerr << "FAIL: cached kernel disagrees with the direct kernel ("

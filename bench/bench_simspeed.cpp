@@ -39,6 +39,8 @@
 //   --mean-cost=S    mean synthetic task cost, sim-seconds (default 1e-5)
 //   --report=PATH    JSON report (default BENCH_simspeed.json)
 //   --seed=N         workload + steal seed (default 1)
+//   --profile        enable the scoped-span profiler; prints the span
+//                    table and embeds the summary in the report
 
 #include <chrono>
 #include <cmath>
@@ -54,6 +56,7 @@
 #include "lb/simple.hpp"
 #include "net/topology.hpp"
 #include "sim/simulators.hpp"
+#include "util/profiler.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -63,6 +66,7 @@ using namespace emc::sim;
 
 struct Options {
   bool smoke = false;
+  bool profile = false;
   double mean_cost = 1.0e-5;
   std::string report_path = "BENCH_simspeed.json";
   std::uint64_t seed = 1;
@@ -83,6 +87,8 @@ Options parse_options(int argc, char** argv) {
     std::string value;
     if (arg == "--smoke") {
       opt.smoke = true;
+    } else if (arg == "--profile") {
+      opt.profile = true;
     } else if (parse_flag(arg, "mean-cost", &value)) {
       opt.mean_cost = std::stod(value);
     } else if (parse_flag(arg, "report", &value)) {
@@ -331,6 +337,7 @@ CongestionRun congestion_run(const Options& opt, int procs,
 
 int main(int argc, char** argv) {
   const Options opt = parse_options(argc, argv);
+  if (opt.profile) emc::util::Profiler::global().set_enabled(true);
 
   std::cout << "##############################################\n"
             << "# bench_simspeed: simulator throughput\n"
@@ -410,6 +417,8 @@ int main(int argc, char** argv) {
   {
     emc::bench::JsonWriter json(out);
     json.begin_object();
+    emc::bench::write_manifest(json, "bench_simspeed",
+                               opt.smoke ? "smoke" : "full", opt.seed);
     json.field("bench", "bench_simspeed");
     json.field("mode", opt.smoke ? "smoke" : "full");
     json.field("seed", opt.seed);
@@ -463,11 +472,35 @@ int main(int argc, char** argv) {
     json.field("congestion_ok", cong_ok);
     json.field("passed", passed);
     json.end_object();
-    json.field("peak_rss_bytes", emc::bench::peak_rss_bytes());
+    emc::bench::write_run_footer(json);
     json.end_object();
   }
   out.close();
   std::cout << "\nwrote " << opt.report_path << "\n";
+
+  // Self-check: the artifact must re-parse and carry a valid manifest,
+  // or downstream bench_compare runs would reject it.
+  {
+    std::ifstream in(opt.report_path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    try {
+      const emc::util::JsonValue doc = emc::util::parse_json(buf.str());
+      const std::string bad = emc::bench::manifest_error(doc);
+      if (!bad.empty()) {
+        std::cerr << "FAIL: report manifest invalid: " << bad << "\n";
+        return 1;
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "FAIL: report is not valid JSON: " << e.what() << "\n";
+      return 1;
+    }
+  }
+
+  if (opt.profile) {
+    std::cout << "\nprofiler spans:\n";
+    emc::util::Profiler::global().write_text(std::cout);
+  }
 
   if (!passed) return 1;
   std::cout << "PASS\n";

@@ -362,9 +362,10 @@ int run(const Options& opt) {
     }
     emc::bench::JsonWriter json(out);
     json.begin_object();
+    emc::bench::write_manifest(json, "bench_topology",
+                               opt.smoke ? "smoke" : "full", 0);
     json.field("bench", "bench_topology");
     json.field("experiment", "EXP-11");
-    json.field("peak_rss_bytes", emc::bench::peak_rss_bytes());
     json.field("molecule", opt.molecule);
     json.field("procs", opt.procs);
     json.field("procs_per_node", base.procs_per_node);
@@ -413,16 +414,23 @@ int run(const Options& opt) {
     json.field("fat2_gap_ratio", gap_lo > 0.0 ? gap_hi / gap_lo : 0.0);
     json.end_object();
     json.raw("featured_metrics", featured_json);
+    emc::bench::write_run_footer(json);
     json.end_object();
   }
 
-  // Validate the artifact with the strict parser (rejects NaN/Inf).
+  // Validate the artifact with the strict parser (rejects NaN/Inf) and
+  // check the manifest envelope.
   {
     std::ifstream in(opt.report_path);
     std::ostringstream buf;
     buf << in.rdbuf();
     try {
-      util::parse_json(buf.str());
+      const util::JsonValue doc = util::parse_json(buf.str());
+      const std::string bad = emc::bench::manifest_error(doc);
+      if (!bad.empty()) {
+        std::cerr << "FAIL: report manifest invalid: " << bad << "\n";
+        return 1;
+      }
     } catch (const std::exception& e) {
       std::cerr << "FAIL: " << opt.report_path
                 << " is invalid JSON: " << e.what() << "\n";

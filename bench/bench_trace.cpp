@@ -43,6 +43,7 @@
 #include "sim/trace.hpp"
 #include "util/json.hpp"
 #include "util/metrics.hpp"
+#include "util/profiler.hpp"
 
 namespace {
 
@@ -97,6 +98,7 @@ std::int64_t validate_chrome_trace(const std::string& path) {
 // ---------------------------------------------------------------------------
 
 struct Options {
+  bool smoke = false;
   std::string model = "ws";
   std::string molecule = "water27";
   int procs = 64;
@@ -182,6 +184,9 @@ void run_pgas_fock(const Options& opt, util::MetricsRegistry& registry) {
 }
 
 int run(const Options& opt) {
+  // The tracing bench doubles as the profiler's end-to-end exercise: its
+  // report always embeds the span summary (bench_compare skips it).
+  util::Profiler::global().set_enabled(true);
   core::TaskModelOptions model_opts;
   model_opts.measure_costs = opt.measured;
   const core::TaskModel model =
@@ -236,8 +241,9 @@ int run(const Options& opt) {
   }
   emc::bench::JsonWriter json(out);
   json.begin_object();
+  emc::bench::write_manifest(json, "bench_trace",
+                             opt.smoke ? "smoke" : "full", 0);
   json.field("bench", "bench_trace");
-  json.field("peak_rss_bytes", emc::bench::peak_rss_bytes());
   json.field("molecule", opt.molecule);
   json.field("tasks", static_cast<std::int64_t>(model.task_count()));
   json.begin_object("sim");
@@ -291,9 +297,30 @@ int run(const Options& opt) {
     registry.write_json(metrics_json);
     json.raw("metrics", metrics_json.str());
   }
+  emc::bench::write_run_footer(json);
   json.end_object();
   out.close();
   std::cout << "wrote " << opt.report_path << "\n";
+
+  // Self-check: re-parse the report and validate the manifest envelope
+  // (the chrome trace was already validated above).
+  {
+    std::ifstream in(opt.report_path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    try {
+      const util::JsonValue doc = util::parse_json(buf.str());
+      const std::string bad = emc::bench::manifest_error(doc);
+      if (!bad.empty()) {
+        std::cerr << "FAIL: report manifest invalid: " << bad << "\n";
+        return 1;
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "FAIL: " << opt.report_path
+                << " is invalid JSON: " << e.what() << "\n";
+      return 1;
+    }
+  }
   return 0;
 }
 
@@ -304,6 +331,7 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
+      opt.smoke = true;
       opt.molecule = "water";
       opt.procs = 8;
       opt.ranks = 2;

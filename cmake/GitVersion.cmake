@@ -1,0 +1,45 @@
+# Stamps emc/version.hpp from cmake/version.hpp.in with the current git
+# SHA + dirty flag and the toolchain identity handed in by the caller.
+# Run as a -P script both at configure time (so the header exists for
+# IDEs and first builds) and from the emc_version_header custom target
+# on every build (so the SHA tracks HEAD, not the last reconfigure).
+# copy_if_different keeps timestamps stable when nothing changed.
+#
+# Inputs (all via -D):
+#   EMC_SOURCE_DIR, EMC_TEMPLATE, EMC_OUTPUT,
+#   EMC_COMPILER, EMC_COMPILER_VERSION, EMC_CXX_FLAGS, EMC_BUILD_TYPE
+
+set(EMC_GIT_SHA "unknown")
+set(EMC_GIT_DIRTY "false")
+
+find_program(EMC_GIT_EXECUTABLE git)
+if(EMC_GIT_EXECUTABLE)
+  execute_process(
+    COMMAND ${EMC_GIT_EXECUTABLE} -C "${EMC_SOURCE_DIR}" rev-parse HEAD
+    OUTPUT_VARIABLE _sha
+    OUTPUT_STRIP_TRAILING_WHITESPACE
+    RESULT_VARIABLE _sha_rc
+    ERROR_QUIET)
+  if(_sha_rc EQUAL 0)
+    set(EMC_GIT_SHA "${_sha}")
+    execute_process(
+      COMMAND ${EMC_GIT_EXECUTABLE} -C "${EMC_SOURCE_DIR}" status --porcelain
+      OUTPUT_VARIABLE _status
+      RESULT_VARIABLE _status_rc
+      ERROR_QUIET)
+    if(_status_rc EQUAL 0 AND NOT _status STREQUAL "")
+      set(EMC_GIT_DIRTY "true")
+    endif()
+  endif()
+endif()
+
+# The flags land inside a C++ string literal: escape backslashes/quotes.
+set(EMC_CXX_FLAGS_ESCAPED "${EMC_CXX_FLAGS}")
+string(REPLACE "\\" "\\\\" EMC_CXX_FLAGS_ESCAPED "${EMC_CXX_FLAGS_ESCAPED}")
+string(REPLACE "\"" "\\\"" EMC_CXX_FLAGS_ESCAPED "${EMC_CXX_FLAGS_ESCAPED}")
+
+configure_file("${EMC_TEMPLATE}" "${EMC_OUTPUT}.tmp" @ONLY)
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E copy_if_different
+          "${EMC_OUTPUT}.tmp" "${EMC_OUTPUT}")
+file(REMOVE "${EMC_OUTPUT}.tmp")

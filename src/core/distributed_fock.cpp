@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "lb/simple.hpp"
+#include "util/profiler.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -98,6 +99,7 @@ lb::Assignment DistributedFockBuilder::initial_assignment() const {
 
 linalg::Matrix DistributedFockBuilder::build_g(
     const linalg::Matrix& density) {
+  EMC_PROF_SPAN("fock/build_g");
   const auto n = static_cast<std::size_t>(basis_->function_count());
   if (density.rows() != n || density.cols() != n) {
     throw std::invalid_argument("build_g: density shape mismatch");
@@ -157,42 +159,51 @@ linalg::Matrix DistributedFockBuilder::build_g(
   // phases around the scheduled execution. This mirrors GA codes:
   // GA_Get(P) ... do work ... GA_Acc(F) with barriers between phases.
   emc::Timer phase;
-  runtime_->run([&](pgas::Context& ctx) {
-    const auto ru = static_cast<std::size_t>(ctx.rank());
-    density_ga.get(ctx.rank(), 0, 0, n, n,
-                   std::span<double>(local_density[ru].data(), n * n),
-                   ctx.cost_model());
-  });
+  {
+    EMC_PROF_SPAN("fock/phase_get");
+    runtime_->run([&](pgas::Context& ctx) {
+      const auto ru = static_cast<std::size_t>(ctx.rank());
+      density_ga.get(ctx.rank(), 0, 0, n, n,
+                     std::span<double>(local_density[ru].data(), n * n),
+                     ctx.cost_model());
+    });
+  }
   if (metrics_.phase_get != nullptr) metrics_.phase_get->add(phase.seconds());
 
   phase.reset();
-  switch (options_.model) {
-    case ExecModel::kStatic:
-      last_stats_ = exec::run_static(*runtime_, n_tasks, assignment, body);
-      break;
-    case ExecModel::kCounter:
-      last_stats_ = exec::run_counter(*runtime_, n_tasks,
-                                      options_.counter_chunk, body);
-      break;
-    case ExecModel::kWorkStealing:
-      last_stats_ = exec::run_work_stealing(*runtime_, n_tasks, assignment,
-                                            body, options_.steal);
-      break;
+  {
+    EMC_PROF_SPAN("fock/phase_execute");
+    switch (options_.model) {
+      case ExecModel::kStatic:
+        last_stats_ = exec::run_static(*runtime_, n_tasks, assignment, body);
+        break;
+      case ExecModel::kCounter:
+        last_stats_ = exec::run_counter(*runtime_, n_tasks,
+                                        options_.counter_chunk, body);
+        break;
+      case ExecModel::kWorkStealing:
+        last_stats_ = exec::run_work_stealing(*runtime_, n_tasks, assignment,
+                                              body, options_.steal);
+        break;
+    }
   }
   if (metrics_.phase_execute != nullptr) {
     metrics_.phase_execute->add(phase.seconds());
   }
 
   phase.reset();
-  runtime_->run([&](pgas::Context& ctx) {
-    const auto ru = static_cast<std::size_t>(ctx.rank());
-    j_ga.accumulate(ctx.rank(), 0, 0, n, n,
-                    std::span<const double>(local_j[ru].data(), n * n),
-                    ctx.cost_model());
-    k_ga.accumulate(ctx.rank(), 0, 0, n, n,
-                    std::span<const double>(local_k[ru].data(), n * n),
-                    ctx.cost_model());
-  });
+  {
+    EMC_PROF_SPAN("fock/phase_accumulate");
+    runtime_->run([&](pgas::Context& ctx) {
+      const auto ru = static_cast<std::size_t>(ctx.rank());
+      j_ga.accumulate(ctx.rank(), 0, 0, n, n,
+                      std::span<const double>(local_j[ru].data(), n * n),
+                      ctx.cost_model());
+      k_ga.accumulate(ctx.rank(), 0, 0, n, n,
+                      std::span<const double>(local_k[ru].data(), n * n),
+                      ctx.cost_model());
+    });
+  }
   if (metrics_.phase_accumulate != nullptr) {
     metrics_.phase_accumulate->add(phase.seconds());
   }

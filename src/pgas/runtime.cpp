@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "util/log.hpp"
+#include "util/profiler.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -127,6 +128,7 @@ int resolve_with_retries(const CommCostModel& cost, int rank,
 int Context::size() const { return runtime_->size(); }
 
 void Context::barrier() {
+  EMC_PROF_SPAN("pgas/barrier");
   Runtime& rt = *runtime_;
   if (rt.metrics_ == nullptr) {
     rt.barrier_.arrive_and_wait();
@@ -144,6 +146,7 @@ const CommCostModel& Context::cost_model() const {
 }
 
 void Context::all_reduce_sum(std::span<double> data) {
+  EMC_PROF_SPAN("pgas/all_reduce");
   Runtime& rt = *runtime_;
   // Rank 0 prepares the shared accumulator before anyone adds to it.
   if (rank_ == 0) {
@@ -169,6 +172,7 @@ void Context::all_reduce_sum(std::span<double> data) {
 }
 
 void Context::broadcast(std::span<double> data, int root) {
+  EMC_PROF_SPAN("pgas/broadcast");
   Runtime& rt = *runtime_;
   if (root < 0 || root >= rt.size()) {
     throw std::invalid_argument("broadcast: root out of range");
@@ -209,6 +213,7 @@ void Runtime::set_metrics(util::MetricsRegistry* registry) {
 }
 
 void Runtime::run(const std::function<void(Context&)>& body) {
+  EMC_PROF_SPAN("pgas/run");
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(n_ranks_));
   std::exception_ptr first_error;

@@ -5,6 +5,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "util/json.hpp"
+
 namespace emc::sim {
 
 const char* trace_event_name(TraceEventType type) {
@@ -241,8 +243,8 @@ void write_chrome_trace(std::ostream& out,
   for (const TraceEvent& ev : trace) {
     out << (first ? "\n" : ",\n");
     first = false;
-    out << "  {\"name\": \"" << trace_event_name(ev.type)
-        << "\", \"cat\": \"sim\", \"ph\": \"X\", \"ts\": "
+    out << "  {\"name\": " << util::json_quote(trace_event_name(ev.type))
+        << ", \"cat\": \"sim\", \"ph\": \"X\", \"ts\": "
         << ev.start * 1e6 << ", \"dur\": " << ev.duration() * 1e6
         << ", \"pid\": " << ev.proc / procs_per_node
         << ", \"tid\": " << ev.proc;

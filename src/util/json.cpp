@@ -2,6 +2,8 @@
 
 #include <cctype>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace emc::util {
@@ -90,12 +92,37 @@ std::string JsonParser::parse_string() {
         case 'r': c = '\r'; break;
         case 'b': c = '\b'; break;
         case 'f': c = '\f'; break;
-        case 'u':
-          // Validation only needs structural fidelity, not code points.
+        case 'u': {
           if (pos_ + 4 > text_.size()) fail("bad \\u escape");
-          pos_ += 4;
-          c = '?';
-          break;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad \\u escape");
+            }
+          }
+          // UTF-8 encode the code unit (surrogate pairs are encoded as
+          // two separate units — structural fidelity is all the
+          // validators need, and BMP round trips are exact).
+          if (code < 0x80) {
+            s += static_cast<char>(code);
+          } else if (code < 0x800) {
+            s += static_cast<char>(0xc0 | (code >> 6));
+            s += static_cast<char>(0x80 | (code & 0x3f));
+          } else {
+            s += static_cast<char>(0xe0 | (code >> 12));
+            s += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            s += static_cast<char>(0x80 | (code & 0x3f));
+          }
+          continue;
+        }
         default: c = e; break;
       }
     }
@@ -169,6 +196,55 @@ JsonValue JsonParser::parse_object() {
 
 JsonValue parse_json(const std::string& text) {
   return JsonParser(text).parse();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_quote(const std::string& s) {
+  return "\"" + json_escape(s) + "\"";
+}
+
+std::string format_double(double v) {
+  char buf[40];
+  for (int precision : {15, 16, 17}) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+void JsonWriter::write_double(double v) {
+  // NaN/Inf have no JSON representation (streaming them produces `nan`
+  // / `inf` tokens no parser accepts) — they are emitted as null.
+  if (std::isfinite(v)) {
+    out_ << format_double(v);
+  } else {
+    out_ << "null";
+  }
 }
 
 }  // namespace emc::util

@@ -6,6 +6,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "util/json.hpp"
+
 namespace emc::util {
 
 namespace {
@@ -169,6 +171,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     v.sum = h->sum();
     v.min = h->min();
     v.max = h->max();
+    v.mean = h->mean();
     const auto bins = h->bins();
     for (int b = 0; b < Histogram::kBins; ++b) {
       const std::int64_t n = bins[static_cast<std::size_t>(b)];
@@ -211,37 +214,42 @@ void MetricsRegistry::write_text(std::ostream& out) const {
   }
   for (const auto& [name, h] : snap.histograms) {
     out << name << " histogram count=" << h.count << " sum=" << h.sum
-        << " min=" << h.min << " max=" << h.max << " p50=" << h.p50
-        << " p90=" << h.p90 << " p99=" << h.p99 << "\n";
+        << " min=" << h.min << " max=" << h.max << " mean=" << h.mean
+        << " p50=" << h.p50 << " p90=" << h.p90 << " p99=" << h.p99
+        << "\n";
   }
 }
 
 void MetricsRegistry::write_json(std::ostream& out) const {
-  // Names are code-controlled identifiers (no quotes/backslashes), so
-  // plain quoting suffices.
+  // Names go through json_quote (shared escaping path) and doubles
+  // through format_double, so the artifact re-parses to identical bits.
   const MetricsSnapshot snap = snapshot();
+  const auto num = [](double v) { return format_double(v); };
   out << "{\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, value] : snap.counters) {
-    out << (first ? "" : ",") << "\n    \"" << name << "\": " << value;
+    out << (first ? "" : ",") << "\n    " << json_quote(name) << ": "
+        << value;
     first = false;
   }
   out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
   first = true;
   for (const auto& [name, value] : snap.gauges) {
-    out << (first ? "" : ",") << "\n    \"" << name << "\": " << value;
+    out << (first ? "" : ",") << "\n    " << json_quote(name) << ": "
+        << num(value);
     first = false;
   }
   out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
   first = true;
   for (const auto& [name, h] : snap.histograms) {
-    out << (first ? "" : ",") << "\n    \"" << name
-        << "\": {\"count\": " << h.count << ", \"sum\": " << h.sum
-        << ", \"min\": " << h.min << ", \"max\": " << h.max
-        << ", \"p50\": " << h.p50 << ", \"p90\": " << h.p90
-        << ", \"p99\": " << h.p99 << ", \"bins\": [";
+    out << (first ? "" : ",") << "\n    " << json_quote(name)
+        << ": {\"count\": " << h.count << ", \"sum\": " << num(h.sum)
+        << ", \"min\": " << num(h.min) << ", \"max\": " << num(h.max)
+        << ", \"mean\": " << num(h.mean) << ", \"p50\": " << num(h.p50)
+        << ", \"p90\": " << num(h.p90) << ", \"p99\": " << num(h.p99)
+        << ", \"bins\": [";
     for (std::size_t b = 0; b < h.bins.size(); ++b) {
-      out << (b == 0 ? "" : ", ") << "[" << h.bins[b].first << ", "
+      out << (b == 0 ? "" : ", ") << "[" << num(h.bins[b].first) << ", "
           << h.bins[b].second << "]";
     }
     out << "]}";

@@ -89,6 +89,9 @@ struct MetricsSnapshot {
   struct HistogramValue {
     std::int64_t count = 0;
     double sum = 0.0, min = 0.0, max = 0.0;
+    /// sum / count (0 when empty), precomputed so consumers never
+    /// divide by zero themselves.
+    double mean = 0.0;
     /// Percentile estimates from the binned counts (see percentile());
     /// filled by MetricsRegistry::snapshot and emitted in text/JSON.
     double p50 = 0.0, p90 = 0.0, p99 = 0.0;

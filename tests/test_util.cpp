@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <set>
 #include <sstream>
@@ -511,6 +512,75 @@ TEST(JsonWriterTest, NonFiniteDoublesEmitNull) {
   ASSERT_EQ(series.size(), 2u);
   EXPECT_DOUBLE_EQ(series[0].number, 0.25);
   EXPECT_EQ(series[1].kind, Kind::kNull);
+}
+
+TEST(JsonEscapeTest, RoundTripsThroughStrictParser) {
+  // Every writer escapes via json_escape; the parser must give the
+  // original bytes back for quotes, backslashes, and control chars.
+  const std::string nasty =
+      "quote\" backslash\\ newline\n tab\t cr\r bell\x07 del\x1f end";
+  const emc::util::JsonValue doc = emc::util::parse_json(
+      "{" + emc::util::json_quote("key\n\"k\"") + ": " +
+      emc::util::json_quote(nasty) + "}");
+  ASSERT_TRUE(doc.has("key\n\"k\""));
+  EXPECT_EQ(doc.object.at("key\n\"k\"").str, nasty);
+}
+
+TEST(JsonEscapeTest, ControlCharsBecomeUnicodeEscapes) {
+  const std::string escaped = emc::util::json_escape("\x01\x1f");
+  EXPECT_EQ(escaped, "\\u0001\\u001f");
+}
+
+TEST(JsonEscapeTest, WriterEscapesKeysAndValues) {
+  std::ostringstream out;
+  emc::bench::JsonWriter w(out);
+  w.begin_object();
+  w.field("na\"me", "va\\lue\n");
+  w.end_object();
+  const emc::util::JsonValue doc = emc::util::parse_json(out.str());
+  EXPECT_EQ(doc.object.at("na\"me").str, "va\\lue\n");
+}
+
+TEST(FormatDoubleTest, RoundTripsExactBits) {
+  for (const double v :
+       {0.1, 1.0 / 3.0, 1e-300, 1.7976931348623157e308, -2.5,
+        123456789.123456789, 6.02214076e23, 1.008635}) {
+    const std::string s = emc::util::format_double(v);
+    EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+  }
+  EXPECT_EQ(emc::util::format_double(1.5), "1.5");
+  EXPECT_EQ(emc::util::format_double(-0.0), "-0");
+}
+
+TEST(FormatDoubleTest, ParserRoundTripIsExact) {
+  const double v = 0.036356915000000004;  // needs 17 digits
+  const emc::util::JsonValue doc =
+      emc::util::parse_json("[" + emc::util::format_double(v) + "]");
+  EXPECT_EQ(doc.array[0].number, v);
+}
+
+TEST(MetricsTest, HistogramSnapshotCarriesMean) {
+  emc::util::MetricsRegistry reg;
+  auto& h = reg.histogram("lat");
+  h.record(1.0);
+  h.record(3.0);
+  const auto snap = reg.snapshot();
+  const auto& hv = snap.histograms.at("lat");
+  EXPECT_DOUBLE_EQ(hv.mean, 2.0);
+  EXPECT_DOUBLE_EQ(hv.min, 1.0);
+  EXPECT_DOUBLE_EQ(hv.max, 3.0);
+  EXPECT_DOUBLE_EQ(hv.sum, 4.0);
+
+  std::ostringstream text, json;
+  reg.write_text(text);
+  EXPECT_NE(text.str().find("mean=2"), std::string::npos);
+  reg.write_json(json);
+  const emc::util::JsonValue doc = emc::util::parse_json(json.str());
+  EXPECT_DOUBLE_EQ(doc.object.at("histograms")
+                       .object.at("lat")
+                       .object.at("mean")
+                       .number,
+                   2.0);
 }
 
 }  // namespace

@@ -1,0 +1,143 @@
+// bench_compare: regression gate over two BENCH_*.json reports.
+//
+//   bench_compare [options] baseline.json candidate.json
+//
+// Exit codes:
+//   0  candidate matches baseline under the gating policy
+//   1  deterministic regression, invalid manifest, or unparseable report
+//   2  usage or I/O error
+//
+// Options:
+//   --noise=X          relative noise band for hostware values (default 0.5)
+//   --rel-tol=X        relative tolerance for gated doubles (default 1e-7)
+//   --abs-tol=X        absolute tolerance for gated doubles (default 1e-9)
+//   --strict-noise     escalate noise-band violations to failures
+//   --md=PATH          also write the markdown delta table to PATH
+//   --update-baseline  overwrite baseline.json with candidate.json bytes
+//                      (after validating the candidate's manifest) and exit 0
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "bench_compare_lib.hpp"
+#include "manifest.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--noise=X] [--rel-tol=X] [--abs-tol=X] [--strict-noise]\n"
+               "       [--md=PATH] [--update-baseline] baseline.json "
+               "candidate.json\n";
+  return 2;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+bool parse_double(const char* s, double& out) {
+  char* end = nullptr;
+  out = std::strtod(s, &end);
+  return end != s && *end == '\0';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  emc::tools::CompareOptions opt;
+  std::string md_path;
+  bool update_baseline = false;
+  std::string paths[2];
+  int npaths = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--noise=", 0) == 0) {
+      if (!parse_double(arg.c_str() + 8, opt.noise)) return usage(argv[0]);
+    } else if (arg.rfind("--rel-tol=", 0) == 0) {
+      if (!parse_double(arg.c_str() + 10, opt.rel_tol)) return usage(argv[0]);
+    } else if (arg.rfind("--abs-tol=", 0) == 0) {
+      if (!parse_double(arg.c_str() + 10, opt.abs_tol)) return usage(argv[0]);
+    } else if (arg == "--strict-noise") {
+      opt.strict_noise = true;
+    } else if (arg.rfind("--md=", 0) == 0) {
+      md_path = arg.substr(5);
+    } else if (arg == "--update-baseline") {
+      update_baseline = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "bench_compare: unknown option '" << arg << "'\n";
+      return usage(argv[0]);
+    } else if (npaths < 2) {
+      paths[npaths++] = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (npaths != 2) return usage(argv[0]);
+
+  std::string texts[2];
+  for (int i = 0; i < 2; ++i) {
+    if (!read_file(paths[i], texts[i])) {
+      // A missing baseline is a first-run situation, not a regression:
+      // --update-baseline is allowed to create it.
+      if (i == 0 && update_baseline) continue;
+      std::cerr << "bench_compare: cannot read '" << paths[i] << "'\n";
+      return 2;
+    }
+  }
+
+  emc::util::JsonValue docs[2];
+  for (int i = 0; i < 2; ++i) {
+    // When replacing the baseline its current contents are irrelevant
+    // (it may be missing or stale); only the candidate must validate.
+    if (i == 0 && update_baseline) continue;
+    try {
+      docs[i] = emc::util::parse_json(texts[i]);
+    } catch (const std::exception& e) {
+      std::cerr << "bench_compare: '" << paths[i]
+                << "' is not valid JSON: " << e.what() << "\n";
+      return 1;
+    }
+    const std::string bad = emc::bench::manifest_error(docs[i]);
+    if (!bad.empty()) {
+      std::cerr << "bench_compare: '" << paths[i]
+                << "' fails manifest validation: " << bad << "\n";
+      return 1;
+    }
+  }
+
+  if (update_baseline) {
+    std::ofstream out(paths[0], std::ios::binary | std::ios::trunc);
+    if (!out || !(out << texts[1])) {
+      std::cerr << "bench_compare: cannot write '" << paths[0] << "'\n";
+      return 2;
+    }
+    std::cerr << "bench_compare: baseline '" << paths[0]
+              << "' updated from '" << paths[1] << "'\n";
+    return 0;
+  }
+
+  const emc::tools::CompareResult result =
+      emc::tools::compare_reports(docs[0], docs[1], opt);
+  const std::string report =
+      emc::tools::markdown_report(paths[0], paths[1], result);
+  std::cout << report;
+  if (!md_path.empty()) {
+    std::ofstream out(md_path, std::ios::binary | std::ios::trunc);
+    if (!out || !(out << report)) {
+      std::cerr << "bench_compare: cannot write '" << md_path << "'\n";
+      return 2;
+    }
+  }
+  return result.ok() ? 0 : 1;
+}
