@@ -1,8 +1,12 @@
 #include "core/distributed_fock.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <stdexcept>
 
+#include "exec/tree_reduction.hpp"
+#include "exec/ws_deque.hpp"
 #include "lb/simple.hpp"
 #include "util/profiler.hpp"
 #include "util/rng.hpp"
@@ -13,8 +17,10 @@ namespace emc::core {
 namespace {
 
 /// Stateless loss decision for one (task, attempt) execution; same hash
-/// construction as the PGAS/simulator fault layers. Rank-independent by
-/// design: whichever rank picks the task up sees the same verdict.
+/// construction as the PGAS/simulator fault layers. Rank- and
+/// thread-independent by design: whichever executor picks the task up
+/// sees the same verdict, so re-execution counts are deterministic
+/// under any schedule.
 bool task_attempt_lost(const DistributedFockOptions::TaskFaultOptions& tf,
                        std::int64_t task, int attempt) {
   std::uint64_t h = tf.seed ^
@@ -26,14 +32,126 @@ bool task_attempt_lost(const DistributedFockOptions::TaskFaultOptions& tf,
   return u < tf.fail_prob;
 }
 
+/// Decorrelated per-executor victim-selection seed.
+std::uint64_t executor_seed(std::uint64_t base, int rank, int tid,
+                            int threads) {
+  std::uint64_t s = base ^
+                    (static_cast<std::uint64_t>(rank) *
+                         static_cast<std::uint64_t>(threads) +
+                     static_cast<std::uint64_t>(tid) + 1) *
+                        0x9e3779b97f4a7c15ULL;
+  return splitmix64(s);
+}
+
 }  // namespace
+
+void JkBufferPool::set_shape(std::size_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (n_ == n) return;
+  storage_.clear();
+  free_.clear();
+  n_ = n;
+}
+
+JkBuffer* JkBufferPool::acquire() {
+  JkBuffer* buffer = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!free_.empty()) {
+      buffer = free_.back();
+      free_.pop_back();
+    }
+  }
+  if (buffer == nullptr) {
+    auto owned = std::make_unique<JkBuffer>();
+    owned->j = linalg::Matrix(n_, n_);  // fresh matrices are zero
+    owned->k = linalg::Matrix(n_, n_);
+    buffer = owned.get();
+    std::lock_guard<std::mutex> lock(mutex_);
+    storage_.push_back(std::move(owned));
+    return buffer;
+  }
+  // Recycled buffer: zero outside the lock.
+  std::fill(buffer->j.data(), buffer->j.data() + n_ * n_, 0.0);
+  std::fill(buffer->k.data(), buffer->k.data() + n_ * n_, 0.0);
+  return buffer;
+}
+
+void JkBufferPool::release(JkBuffer* buffer) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_.push_back(buffer);
+}
+
+std::size_t JkBufferPool::allocated() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return storage_.size();
+}
 
 DistributedFockBuilder::DistributedFockBuilder(
     const chem::BasisSet& basis, pgas::Runtime& runtime,
     DistributedFockOptions options)
     : basis_(&basis), runtime_(&runtime), options_(std::move(options)),
       fock_(basis, options_.screen_threshold), tasks_(fock_.make_tasks()) {
+  if (options_.threads < 1) {
+    throw std::invalid_argument("DistributedFockBuilder: threads must be >= 1");
+  }
+  make_slots();
+  pools_.reserve(static_cast<std::size_t>(runtime_->size()));
+  for (int r = 0; r < runtime_->size(); ++r) {
+    pools_.push_back(std::make_unique<exec::ThreadPool>(options_.threads));
+  }
+  buffer_pool_.set_shape(static_cast<std::size_t>(basis_->function_count()));
+  // Screening totals are Schwarz-only (density-independent): a property
+  // of the basis + threshold, both fixed here, so tally once and add
+  // per build.
+  for (const auto& task : tasks_) {
+    const chem::TaskCostFeatures f = fock_.task_cost_features(task);
+    scan_total_ += f.scan;
+    survived_total_ += f.quartets;
+  }
   if (options_.metrics != nullptr) attach_metrics();
+}
+
+void DistributedFockBuilder::make_slots() {
+  const auto n_tasks = static_cast<std::int64_t>(tasks_.size());
+  slots_.clear();
+  slot_costs_.clear();
+  if (n_tasks == 0) return;
+  const std::int64_t max_slots = std::max<std::int64_t>(1, options_.intra_slots);
+  const std::int64_t n_slots = std::min(max_slots, n_tasks);
+  std::vector<double> costs(static_cast<std::size_t>(n_tasks));
+  double total = 0.0;
+  for (std::int64_t t = 0; t < n_tasks; ++t) {
+    costs[static_cast<std::size_t>(t)] =
+        fock_.estimate_task_cost(tasks_[static_cast<std::size_t>(t)]);
+    total += costs[static_cast<std::size_t>(t)];
+  }
+  // Greedy cost-balanced cut into exactly n_slots contiguous non-empty
+  // ranges. Depends only on the task list and intra_slots — never on
+  // ranks, threads, or policy — so the reduction-tree leaf set is a
+  // fixed function of the problem (the bitwise-determinism anchor).
+  slots_.reserve(static_cast<std::size_t>(n_slots));
+  slot_costs_.reserve(static_cast<std::size_t>(n_slots));
+  std::int64_t first = 0;
+  double acc = 0.0;
+  double slot_cost = 0.0;
+  for (std::int64_t t = 0; t < n_tasks; ++t) {
+    acc += costs[static_cast<std::size_t>(t)];
+    slot_cost += costs[static_cast<std::size_t>(t)];
+    const std::int64_t tasks_left = n_tasks - t - 1;
+    const std::int64_t slots_left =
+        n_slots - static_cast<std::int64_t>(slots_.size()) - 1;
+    const bool quota =
+        slots_left > 0 &&
+        acc >= total * static_cast<double>(slots_.size() + 1) /
+                   static_cast<double>(n_slots);
+    if (tasks_left == 0 || tasks_left == slots_left || quota) {
+      slots_.emplace_back(first, t + 1);
+      slot_costs_.push_back(slot_cost);
+      first = t + 1;
+      slot_cost = 0.0;
+    }
+  }
 }
 
 void DistributedFockBuilder::attach_metrics() {
@@ -48,18 +166,12 @@ void DistributedFockBuilder::attach_metrics() {
   metrics_.phase_get = &reg.gauge("fock/phase_get_seconds");
   metrics_.phase_execute = &reg.gauge("fock/phase_execute_seconds");
   metrics_.phase_accumulate = &reg.gauge("fock/phase_accumulate_seconds");
+  metrics_.reduction_buffers = &reg.gauge("fock/reduction_buffers");
 
-  // Screening is Schwarz-only (density-independent), so the per-iteration
-  // skip rate is a property of the basis: tally it once here.
-  scan_total_ = 0.0;
-  survived_total_ = 0.0;
-  for (const auto& task : tasks_) {
-    const chem::TaskCostFeatures f = fock_.task_cost_features(task);
-    scan_total_ += f.scan;
-    survived_total_ += f.quartets;
-  }
   metrics_.skip_rate->set(
       scan_total_ > 0.0 ? 1.0 - survived_total_ / scan_total_ : 0.0);
+  reg.gauge("fock/reduction_slots")
+      .set(static_cast<double>(slots_.size()));
 
   // Shell-pair cache inventory: entries and primitive pairs held.
   const chem::ShellPairList& pairs = fock_.shell_pairs();
@@ -76,25 +188,360 @@ void DistributedFockBuilder::attach_metrics() {
       .set(static_cast<double>(prim_pairs));
 }
 
-lb::Assignment DistributedFockBuilder::initial_assignment() const {
+lb::Assignment DistributedFockBuilder::slot_assignment() const {
   const int ranks = runtime_->size();
   if (options_.static_balancer == "block") {
-    return lb::block_assignment(tasks_.size(), ranks);
+    return lb::block_assignment(slots_.size(), ranks);
   }
   if (options_.static_balancer == "cyclic") {
-    return lb::cyclic_assignment(tasks_.size(), ranks);
+    return lb::cyclic_assignment(slots_.size(), ranks);
   }
   if (options_.static_balancer == "lpt") {
-    std::vector<double> costs;
-    costs.reserve(tasks_.size());
-    for (const auto& task : tasks_) {
-      costs.push_back(fock_.estimate_task_cost(task));
-    }
-    return lb::lpt_assignment(costs, ranks);
+    return lb::lpt_assignment(slot_costs_, ranks);
   }
   throw std::invalid_argument(
       "DistributedFockBuilder: unknown static balancer '" +
       options_.static_balancer + "'");
+}
+
+exec::ExecutionStats DistributedFockBuilder::run_hybrid(
+    const lb::Assignment& slot_assign,
+    const std::vector<linalg::Matrix>& density,
+    std::vector<JkBuffer*>& rank_roots,
+    std::atomic<std::int64_t>& reexecs) {
+  const int ranks = runtime_->size();
+  const int threads = options_.threads;
+  const auto n_slots = static_cast<std::int64_t>(slots_.size());
+  exec::ExecutionStats stats;
+  stats.ranks.assign(static_cast<std::size_t>(ranks), exec::RankStats{});
+  rank_roots.assign(static_cast<std::size_t>(ranks), nullptr);
+
+  // Per-rank reduction trees over the FULL slot index space. Leaves a
+  // rank did not execute are completed empty after its loop drains, so
+  // the tree shape — and therefore the grouping of the rank's partial
+  // sum — is a pure function of (slot partition, executed-slot set).
+  std::vector<std::unique_ptr<exec::TreeReduction<JkBuffer>>> trees;
+  trees.reserve(static_cast<std::size_t>(ranks));
+  const auto merge = [](JkBuffer& left, JkBuffer& right) {
+    left.j += right.j;
+    left.k += right.k;
+  };
+  const auto recycle = [this](JkBuffer* b) { buffer_pool_.release(b); };
+  for (int r = 0; r < ranks; ++r) {
+    trees.push_back(std::make_unique<exec::TreeReduction<JkBuffer>>(
+        n_slots, merge, recycle));
+  }
+
+  // Ascending slot lists per rank (static model and stealing seed).
+  std::vector<std::vector<std::int64_t>> rank_slots(
+      static_cast<std::size_t>(ranks));
+  for (std::int64_t s = 0; s < n_slots; ++s) {
+    rank_slots[static_cast<std::size_t>(
+                   slot_assign[static_cast<std::size_t>(s)])]
+        .push_back(s);
+  }
+
+  const DistributedFockOptions::TaskFaultOptions& tf = options_.task_faults;
+  std::atomic<bool> aborted{false};
+
+  // Executes one slot serially in ascending task order into a pooled
+  // zeroed buffer, then delivers the partial to the rank's tree.
+  const auto execute_slot = [&](std::int64_t s, int rank,
+                                exec::RankStats& ts) {
+    JkBuffer* buffer = buffer_pool_.acquire();
+    emc::Timer busy;
+    const auto [task_first, task_last] =
+        slots_[static_cast<std::size_t>(s)];
+    for (std::int64_t t = task_first; t < task_last; ++t) {
+      if (tf.enabled()) {
+        // Losses are decided before the kernel runs, so partial
+        // contributions never touch the buffer; each loss just costs
+        // its delay. The last attempt is forced through.
+        int attempt = 0;
+        while (attempt + 1 < tf.max_attempts &&
+               task_attempt_lost(tf, t, attempt)) {
+          pgas::inject_delay(tf.reexec_delay_ns);
+          ++attempt;
+        }
+        if (attempt > 0) {
+          reexecs.fetch_add(attempt, std::memory_order_relaxed);
+        }
+      }
+      fock_.execute_task(tasks_[static_cast<std::size_t>(t)],
+                         density[static_cast<std::size_t>(rank)],
+                         buffer->j, buffer->k);
+    }
+    ts.busy_seconds += busy.seconds();
+    ts.tasks_executed += task_last - task_first;
+    trees[static_cast<std::size_t>(rank)]->complete(s, buffer);
+  };
+
+  // Shared state for the global (inter-rank) dynamic models.
+  pgas::GlobalCounter global_counter(0);
+  if (options_.model == ExecModel::kCounter &&
+      runtime_->metrics() != nullptr) {
+    global_counter.attach_metrics(*runtime_->metrics(), ranks);
+  }
+  std::vector<std::unique_ptr<exec::WsDeque>> global_deques;
+  std::atomic<std::int64_t> remaining_global{n_slots};
+  if (options_.model == ExecModel::kWorkStealing) {
+    // One deque per executor (rank, thread); capacity n_slots so
+    // steal-half migrations can never overflow anyone.
+    global_deques.resize(static_cast<std::size_t>(ranks) *
+                         static_cast<std::size_t>(threads));
+    for (auto& d : global_deques) {
+      d = std::make_unique<exec::WsDeque>(
+          static_cast<std::size_t>(std::max<std::int64_t>(1, n_slots)));
+    }
+    // Seed each rank's slots cyclically over its threads, pushed in
+    // descending order so owner pops proceed in ascending slot order.
+    for (int r = 0; r < ranks; ++r) {
+      const auto& mine = rank_slots[static_cast<std::size_t>(r)];
+      for (std::size_t i = mine.size(); i-- > 0;) {
+        global_deques[static_cast<std::size_t>(r) *
+                          static_cast<std::size_t>(threads) +
+                      i % static_cast<std::size_t>(threads)]
+            ->push(mine[i]);
+      }
+    }
+  }
+
+  emc::Timer wall;
+  runtime_->run([&](pgas::Context& ctx) {
+    const int rank = ctx.rank();
+    const auto ru = static_cast<std::size_t>(rank);
+    std::vector<exec::RankStats> tstats(static_cast<std::size_t>(threads));
+    exec::ThreadPool& pool = *pools_[ru];
+
+    switch (options_.model) {
+      case ExecModel::kStatic: {
+        const std::vector<std::int64_t>& mine = rank_slots[ru];
+        switch (options_.intra_policy) {
+          case IntraPolicy::kStatic: {
+            // Cyclic static slices of the rank's slot list.
+            pool.run([&](int tid) {
+              try {
+                auto& ts = tstats[static_cast<std::size_t>(tid)];
+                for (std::size_t i = static_cast<std::size_t>(tid);
+                     i < mine.size();
+                     i += static_cast<std::size_t>(threads)) {
+                  if (aborted.load(std::memory_order_relaxed)) break;
+                  execute_slot(mine[i], rank, ts);
+                }
+              } catch (...) {
+                aborted.store(true, std::memory_order_relaxed);
+                throw;
+              }
+            });
+            break;
+          }
+          case IntraPolicy::kCounter: {
+            // Rank-local nxtval over the rank's slot list. Intra-node
+            // fetch_add is priced free — it is a real atomic, not a
+            // network round trip.
+            pgas::GlobalCounter next(0);
+            const pgas::CommCostModel free_cost{};
+            const std::int64_t chunk =
+                std::max<std::int64_t>(1, options_.intra_chunk);
+            const auto count = static_cast<std::int64_t>(mine.size());
+            pool.run([&](int tid) {
+              try {
+                auto& ts = tstats[static_cast<std::size_t>(tid)];
+                while (!aborted.load(std::memory_order_relaxed)) {
+                  const std::int64_t i = next.fetch_add(chunk, free_cost, rank);
+                  ++ts.counter_ops;
+                  if (i >= count) break;
+                  const std::int64_t end = std::min(i + chunk, count);
+                  for (std::int64_t s = i;
+                       s < end && !aborted.load(std::memory_order_relaxed);
+                       ++s) {
+                    execute_slot(mine[static_cast<std::size_t>(s)], rank, ts);
+                  }
+                }
+              } catch (...) {
+                aborted.store(true, std::memory_order_relaxed);
+                throw;
+              }
+            });
+            break;
+          }
+          case IntraPolicy::kWorkStealing: {
+            // Per-thread Chase–Lev deques, victims within the rank.
+            std::vector<std::unique_ptr<exec::WsDeque>> deques(
+                static_cast<std::size_t>(threads));
+            for (auto& d : deques) {
+              d = std::make_unique<exec::WsDeque>(
+                  std::max<std::size_t>(1, mine.size()));
+            }
+            for (std::size_t i = mine.size(); i-- > 0;) {
+              deques[i % static_cast<std::size_t>(threads)]->push(mine[i]);
+            }
+            std::atomic<std::int64_t> remaining{
+                static_cast<std::int64_t>(mine.size())};
+            pool.run([&](int tid) {
+              try {
+                auto& ts = tstats[static_cast<std::size_t>(tid)];
+                exec::WsDeque& my_deque =
+                    *deques[static_cast<std::size_t>(tid)];
+                emc::Rng rng(executor_seed(options_.steal.seed, rank, tid,
+                                           threads));
+                while (remaining.load(std::memory_order_relaxed) > 0 &&
+                       !aborted.load(std::memory_order_relaxed)) {
+                  if (auto s = my_deque.pop()) {
+                    execute_slot(*s, rank, ts);
+                    remaining.fetch_sub(1, std::memory_order_relaxed);
+                    continue;
+                  }
+                  if (threads == 1) continue;
+                  auto victim = static_cast<int>(rng.below(
+                      static_cast<std::uint64_t>(threads - 1)));
+                  if (victim >= tid) ++victim;
+                  ++ts.steal_attempts;
+                  exec::WsDeque& vd =
+                      *deques[static_cast<std::size_t>(victim)];
+                  if (auto s = vd.steal()) {
+                    ++ts.steals;
+                    if (options_.steal.steal_half) {
+                      std::int64_t extra = vd.size_estimate() / 2;
+                      while (extra-- > 0) {
+                        if (auto more = vd.steal()) {
+                          my_deque.push(*more);
+                        } else {
+                          break;
+                        }
+                      }
+                    }
+                    execute_slot(*s, rank, ts);
+                    remaining.fetch_sub(1, std::memory_order_relaxed);
+                  }
+                }
+              } catch (...) {
+                aborted.store(true, std::memory_order_relaxed);
+                throw;
+              }
+            });
+            break;
+          }
+        }
+        break;
+      }
+      case ExecModel::kCounter: {
+        // Global self-scheduling: EVERY executor thread of every rank
+        // hits the shared nxtval — the intra policy degenerates into
+        // the inter one, which is exactly how GA codes oversubscribe
+        // the counter in hybrid runs (R·T contenders per grab).
+        const std::int64_t chunk =
+            std::max<std::int64_t>(1, options_.counter_chunk);
+        pool.run([&](int tid) {
+          try {
+            auto& ts = tstats[static_cast<std::size_t>(tid)];
+            while (!aborted.load(std::memory_order_relaxed)) {
+              const std::int64_t s0 =
+                  global_counter.fetch_add(chunk, ctx.cost_model(), rank);
+              ++ts.counter_ops;
+              if (s0 >= n_slots) break;
+              const std::int64_t end = std::min(s0 + chunk, n_slots);
+              for (std::int64_t s = s0;
+                   s < end && !aborted.load(std::memory_order_relaxed);
+                   ++s) {
+                execute_slot(s, rank, ts);
+              }
+            }
+          } catch (...) {
+            aborted.store(true, std::memory_order_relaxed);
+            throw;
+          }
+        });
+        break;
+      }
+      case ExecModel::kWorkStealing: {
+        // Two-level stealing over ranks × threads deques: co-threads
+        // first (free), remote ranks second (pays the injected remote
+        // latency), mirroring hierarchical victim selection.
+        const int n_exec = ranks * threads;
+        pool.run([&](int tid) {
+          try {
+            auto& ts = tstats[static_cast<std::size_t>(tid)];
+            const auto g = ru * static_cast<std::size_t>(threads) +
+                           static_cast<std::size_t>(tid);
+            exec::WsDeque& my_deque = *global_deques[g];
+            emc::Rng rng(
+                executor_seed(options_.steal.seed, rank, tid, threads));
+            const auto steal_from = [&](exec::WsDeque& vd) -> bool {
+              ++ts.steal_attempts;
+              if (auto s = vd.steal()) {
+                ++ts.steals;
+                if (options_.steal.steal_half) {
+                  std::int64_t extra = vd.size_estimate() / 2;
+                  while (extra-- > 0) {
+                    if (auto more = vd.steal()) {
+                      my_deque.push(*more);
+                    } else {
+                      break;
+                    }
+                  }
+                }
+                execute_slot(*s, rank, ts);
+                remaining_global.fetch_sub(1, std::memory_order_relaxed);
+                return true;
+              }
+              return false;
+            };
+            while (remaining_global.load(std::memory_order_relaxed) > 0 &&
+                   !aborted.load(std::memory_order_relaxed)) {
+              if (auto s = my_deque.pop()) {
+                execute_slot(*s, rank, ts);
+                remaining_global.fetch_sub(1, std::memory_order_relaxed);
+                continue;
+              }
+              if (n_exec == 1) continue;
+              if (threads > 1) {
+                auto vt = static_cast<int>(rng.below(
+                    static_cast<std::uint64_t>(threads - 1)));
+                if (vt >= tid) ++vt;
+                if (steal_from(*global_deques[ru * static_cast<std::size_t>(
+                                                       threads) +
+                                              static_cast<std::size_t>(vt)])) {
+                  continue;
+                }
+              }
+              if (ranks > 1) {
+                const auto pick = static_cast<std::int64_t>(rng.below(
+                    static_cast<std::uint64_t>((ranks - 1) * threads)));
+                auto vr = static_cast<int>(pick / threads);
+                if (vr >= rank) ++vr;
+                const auto vt = static_cast<std::size_t>(pick % threads);
+                pgas::inject_delay(ctx.cost_model().remote_ns);
+                steal_from(*global_deques[static_cast<std::size_t>(vr) *
+                                              static_cast<std::size_t>(
+                                                  threads) +
+                                          vt]);
+              }
+            }
+          } catch (...) {
+            aborted.store(true, std::memory_order_relaxed);
+            throw;
+          }
+        });
+        break;
+      }
+    }
+
+    exec::RankStats& mine = stats.ranks[ru];
+    for (const exec::RankStats& ts : tstats) {
+      mine.tasks_executed += ts.tasks_executed;
+      mine.busy_seconds += ts.busy_seconds;
+      mine.steal_attempts += ts.steal_attempts;
+      mine.steals += ts.steals;
+      mine.counter_ops += ts.counter_ops;
+    }
+    // Slots this rank never executed are empty leaves; with them closed
+    // the tree collapses to this rank's partial.
+    trees[ru]->complete_missing();
+    rank_roots[ru] = trees[ru]->take_root();
+  });
+  stats.wall_seconds = wall.seconds();
+  return stats;
 }
 
 linalg::Matrix DistributedFockBuilder::build_g(
@@ -119,45 +566,21 @@ linalg::Matrix DistributedFockBuilder::build_g(
                  std::span<const double>(density.data(), n * n),
                  pgas::CommCostModel{});
 
-  const lb::Assignment assignment = initial_assignment();
-  const auto n_tasks = static_cast<std::int64_t>(tasks_.size());
+  const lb::Assignment slot_assign = slot_assignment();
 
-  // Per-rank working state allocated up front so the SPMD body can use
-  // it without synchronization.
+  // Per-rank density replicas (the one full-replica set the GA pattern
+  // genuinely needs). J/K no longer get 2·ranks·n² replicas of their
+  // own: threads accumulate into pooled per-slot buffers that fold
+  // through the reduction tree, so the live set is bounded by
+  // ranks·(threads + log2 slots) buffers.
   std::vector<linalg::Matrix> local_density(
       static_cast<std::size_t>(ranks), linalg::Matrix(n, n));
-  std::vector<linalg::Matrix> local_j(static_cast<std::size_t>(ranks),
-                                      linalg::Matrix(n, n));
-  std::vector<linalg::Matrix> local_k(static_cast<std::size_t>(ranks),
-                                      linalg::Matrix(n, n));
-
-  const DistributedFockOptions::TaskFaultOptions& tf = options_.task_faults;
+  std::vector<JkBuffer*> rank_roots;
   std::atomic<std::int64_t> reexecs{0};
-  const exec::TaskBody body = [&](std::int64_t t, int rank) {
-    const auto ru = static_cast<std::size_t>(rank);
-    if (tf.enabled()) {
-      // Lost attempts are decided before the kernel runs, so partial
-      // contributions never touch the local J/K buffers; each loss just
-      // costs its delay and the task goes again. The last attempt is
-      // forced through.
-      int attempt = 0;
-      while (attempt + 1 < tf.max_attempts &&
-             task_attempt_lost(tf, t, attempt)) {
-        pgas::inject_delay(tf.reexec_delay_ns);
-        ++attempt;
-      }
-      if (attempt > 0) {
-        reexecs.fetch_add(attempt, std::memory_order_relaxed);
-      }
-    }
-    fock_.execute_task(tasks_[static_cast<std::size_t>(t)],
-                       local_density[ru], local_j[ru], local_k[ru]);
-  };
 
-  // Phase 1 (inside each scheduler's SPMD region is not possible here —
-  // schedulers own the region), so fetch + accumulate are their own SPMD
-  // phases around the scheduled execution. This mirrors GA codes:
-  // GA_Get(P) ... do work ... GA_Acc(F) with barriers between phases.
+  // Fetch + execute + accumulate are their own SPMD phases. This
+  // mirrors GA codes: GA_Get(P) ... do work ... GA_Acc(F) with
+  // barriers between phases.
   emc::Timer phase;
   {
     EMC_PROF_SPAN("fock/phase_get");
@@ -173,19 +596,7 @@ linalg::Matrix DistributedFockBuilder::build_g(
   phase.reset();
   {
     EMC_PROF_SPAN("fock/phase_execute");
-    switch (options_.model) {
-      case ExecModel::kStatic:
-        last_stats_ = exec::run_static(*runtime_, n_tasks, assignment, body);
-        break;
-      case ExecModel::kCounter:
-        last_stats_ = exec::run_counter(*runtime_, n_tasks,
-                                        options_.counter_chunk, body);
-        break;
-      case ExecModel::kWorkStealing:
-        last_stats_ = exec::run_work_stealing(*runtime_, n_tasks, assignment,
-                                              body, options_.steal);
-        break;
-    }
+    last_stats_ = run_hybrid(slot_assign, local_density, rank_roots, reexecs);
   }
   if (metrics_.phase_execute != nullptr) {
     metrics_.phase_execute->add(phase.seconds());
@@ -196,13 +607,18 @@ linalg::Matrix DistributedFockBuilder::build_g(
     EMC_PROF_SPAN("fock/phase_accumulate");
     runtime_->run([&](pgas::Context& ctx) {
       const auto ru = static_cast<std::size_t>(ctx.rank());
+      const JkBuffer* root = rank_roots[ru];
+      if (root == nullptr) return;  // rank executed no slots
       j_ga.accumulate(ctx.rank(), 0, 0, n, n,
-                      std::span<const double>(local_j[ru].data(), n * n),
+                      std::span<const double>(root->j.data(), n * n),
                       ctx.cost_model());
       k_ga.accumulate(ctx.rank(), 0, 0, n, n,
-                      std::span<const double>(local_k[ru].data(), n * n),
+                      std::span<const double>(root->k.data(), n * n),
                       ctx.cost_model());
     });
+  }
+  for (JkBuffer* root : rank_roots) {
+    if (root != nullptr) buffer_pool_.release(root);
   }
   if (metrics_.phase_accumulate != nullptr) {
     metrics_.phase_accumulate->add(phase.seconds());
@@ -219,10 +635,14 @@ linalg::Matrix DistributedFockBuilder::build_g(
   last_reexecs_ = reexecs.load(std::memory_order_relaxed);
   if (metrics_.builds != nullptr) {
     metrics_.builds->add(1);
-    metrics_.tasks->add(n_tasks);
+    metrics_.tasks->add(static_cast<std::int64_t>(tasks_.size()));
     metrics_.task_reexecs->add(last_reexecs_);
-    metrics_.kets_scanned->add(static_cast<std::int64_t>(scan_total_));
-    metrics_.kets_survived->add(static_cast<std::int64_t>(survived_total_));
+    // Per-build tally of the fixed screening totals, rounded to nearest
+    // (truncation undercounted by up to one ket pair per build).
+    metrics_.kets_scanned->add(std::llround(scan_total_));
+    metrics_.kets_survived->add(std::llround(survived_total_));
+    metrics_.reduction_buffers->set(
+        static_cast<double>(buffer_pool_.allocated()));
   }
   return chem::FockBuilder::combine_jk(j_total, k_total);
 }

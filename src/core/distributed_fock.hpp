@@ -6,16 +6,33 @@
 // scheduled under a configurable execution model, and each rank's J/K
 // contributions are merged back with one-sided atomic Accumulate.
 //
+// Execution is hierarchical — ranks × threads. Each rank owns a
+// persistent exec::ThreadPool; within a rank the task loop is scheduled
+// by an intra-rank policy mirroring the paper's execution models
+// (static slices, shared-counter chunks, Chase–Lev stealing between
+// threads). Threads accumulate into pooled J/K buffers, one per
+// reduction SLOT (a fixed contiguous cost-balanced range of the task
+// list), and the slot partials fold through a fixed-shape pairwise tree
+// (exec::TreeReduction) — so for any deterministic task→rank
+// assignment the rank's J/K partial is bitwise identical regardless of
+// thread count, intra policy, or scheduling interleaving.
+//
 // The same object plugs into chem::run_rhf_with_builder, so a full SCF
 // can be driven end-to-end through any execution model and verified
 // against the sequential reference (tests/test_distributed_fock.cpp).
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "chem/fock.hpp"
 #include "chem/scf.hpp"
 #include "exec/schedulers.hpp"
+#include "exec/thread_pool.hpp"
 #include "lb/partition.hpp"
 #include "pgas/global_array.hpp"
 #include "pgas/runtime.hpp"
@@ -28,25 +45,57 @@ enum class ExecModel {
   kWorkStealing,  ///< Chase-Lev deques, random victims
 };
 
+/// Intra-rank scheduling of a rank's reduction slots across its pool
+/// threads. Mirrors ExecModel one level down; by the tree-reduction
+/// construction the RESULT is policy-independent — only wall clock and
+/// steal/counter traffic differ.
+enum class IntraPolicy {
+  kStatic,        ///< cyclic static slices of the rank's slot list
+  kCounter,       ///< rank-local nxtval chunks (atomic fetch_add)
+  kWorkStealing,  ///< per-thread Chase-Lev deques, intra-rank victims
+};
+
 struct DistributedFockOptions {
   ExecModel model = ExecModel::kWorkStealing;
   /// Balancer for the static model / work-stealing seed: "block",
-  /// "cyclic", or "lpt".
+  /// "cyclic", or "lpt". Operates on reduction slots (see intra_slots).
   std::string static_balancer = "block";
+  /// Slots per global-nxtval grab under ExecModel::kCounter.
   std::int64_t counter_chunk = 4;
   exec::WorkStealingOptions steal;
   double screen_threshold = 1e-10;
+
+  /// Pool threads per rank. 1 = the classic serial-per-rank loop (no
+  /// workers are spawned). The Fock matrix is bitwise independent of
+  /// this knob whenever the task→rank assignment is deterministic
+  /// (static model, or any model at 1 rank).
+  int threads = 1;
+  /// How a rank's pool threads divide its reduction slots.
+  IntraPolicy intra_policy = IntraPolicy::kStatic;
+  /// Upper bound on reduction slots per build. The task list is cut
+  /// into at most this many contiguous cost-balanced ranges — the unit
+  /// of intra-rank scheduling AND of the deterministic tree reduction.
+  /// The cut depends only on the task list and this value, never on
+  /// ranks/threads/policy: that is the determinism anchor, so keep it
+  /// fixed when comparing runs bitwise. More slots = finer dynamic
+  /// balancing but more buffer traffic; 64 is plenty for the paper's
+  /// task counts.
+  std::int64_t intra_slots = 64;
+  /// Slots per rank-local counter grab under IntraPolicy::kCounter.
+  std::int64_t intra_chunk = 1;
+
   /// Fault injection for task execution. Each (task, attempt) pair is
   /// deemed lost with probability fail_prob — a stateless hash of
-  /// (seed, task, attempt), independent of which rank runs it, so the
-  /// same tasks are lost under any schedule or interleaving. A lost
-  /// attempt pays reexec_delay_ns of wasted work and is re-executed.
-  /// The loss decision is made BEFORE the kernel runs, so exactly one
-  /// real execution ever contributes to J/K: a fault-injected build is
-  /// bitwise identical to the fault-free one whenever the accumulate
-  /// ordering is (as with 2 ranks, where two-operand addition
-  /// commutes bitwise). The final attempt always succeeds, bounding
-  /// the retry loop at max_attempts.
+  /// (seed, task, attempt), independent of which rank OR THREAD runs
+  /// it, so the same tasks are lost under any schedule or interleaving
+  /// and the re-execution count is deterministic under threading.
+  /// A lost attempt pays reexec_delay_ns of wasted work and is
+  /// re-executed. The loss decision is made BEFORE the kernel runs, so
+  /// exactly one real execution ever contributes to J/K: a
+  /// fault-injected build is bitwise identical to the fault-free one
+  /// whenever the accumulate ordering is (as with 2 ranks, where
+  /// two-operand addition commutes bitwise). The final attempt always
+  /// succeeds, bounding the retry loop at max_attempts.
   struct TaskFaultOptions {
     double fail_prob = 0.0;        ///< per-attempt loss probability
     int max_attempts = 8;          ///< last attempt is forced through
@@ -59,10 +108,41 @@ struct DistributedFockOptions {
   /// the runtime (per-rank barrier/PGAS counters), the per-build
   /// GlobalArrays (get/put/acc ops + bytes), and records its own
   /// "fock/..." series: per-phase wall time (get / execute /
-  /// accumulate), build count, Schwarz screening skip rate, and
-  /// shell-pair-cache stats. Must outlive the builder. nullptr = fully
-  /// disabled, no overhead on the build path.
+  /// accumulate), build count, Schwarz screening skip rate, reduction
+  /// buffer pool size, and shell-pair-cache stats. Must outlive the
+  /// builder. nullptr = fully disabled, no overhead on the build path.
   util::MetricsRegistry* metrics = nullptr;
+};
+
+/// One pooled J/K accumulation buffer pair (the payload of a reduction
+/// slot / tree node).
+struct JkBuffer {
+  linalg::Matrix j;
+  linalg::Matrix k;
+};
+
+/// Thread-safe free list of JkBuffers. acquire() hands out a ZEROED
+/// n×n pair, reusing a released buffer when one is available and
+/// allocating otherwise (never blocking — the tree reduction may hold
+/// buffers that only future merges release, so waiting could deadlock).
+/// This is what replaces the old 3·ranks·n² full-replica allocation:
+/// the live set is bounded by ranks·(threads + log2 slots), not by
+/// ranks·slots, and the pool persists across SCF iterations.
+class JkBufferPool {
+ public:
+  /// Sets the buffer shape; drops all pooled storage on change.
+  /// Must not be called while buffers are outstanding.
+  void set_shape(std::size_t n);
+  JkBuffer* acquire();
+  void release(JkBuffer* buffer);
+  /// Buffers ever allocated (live + free). Stable after a build joins.
+  std::size_t allocated() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t n_ = 0;
+  std::vector<std::unique_ptr<JkBuffer>> storage_;
+  std::vector<JkBuffer*> free_;
 };
 
 /// SPMD Fock builder over a PGAS runtime. Not thread-safe to share one
@@ -76,22 +156,35 @@ class DistributedFockBuilder {
 
   /// Builds G(P) = J - K/2 with the configured execution model. The
   /// density is published to a GlobalArray, ranks fetch it one-sided,
-  /// execute their tasks, and accumulate J/K back one-sided.
+  /// execute their tasks ranks × threads, tree-reduce per rank, and
+  /// accumulate the rank partials back one-sided.
   linalg::Matrix build_g(const linalg::Matrix& density);
 
   /// Adapter for chem::run_rhf_with_builder.
   chem::GBuilder as_g_builder();
 
-  /// Execution statistics of the most recent build_g call.
+  /// Execution statistics of the most recent build_g call. Per-rank
+  /// tasks_executed counts TASKS (summed over that rank's threads);
+  /// busy_seconds sums thread-local kernel time, so it can exceed the
+  /// phase wall time when threads > 1.
   const exec::ExecutionStats& last_stats() const { return last_stats_; }
   /// Total build_g invocations (SCF iterations served).
   int builds() const { return builds_; }
   /// Task re-executions forced by fault injection during the most
   /// recent build_g call (0 when task_faults are disabled).
   std::int64_t last_task_reexecutions() const { return last_reexecs_; }
+  /// The fixed slot partition (for tests/benches).
+  std::int64_t slot_count() const {
+    return static_cast<std::int64_t>(slots_.size());
+  }
 
  private:
-  lb::Assignment initial_assignment() const;
+  void make_slots();
+  lb::Assignment slot_assignment() const;
+  exec::ExecutionStats run_hybrid(const lb::Assignment& slot_assign,
+                                  const std::vector<linalg::Matrix>& density,
+                                  std::vector<JkBuffer*>& rank_roots,
+                                  std::atomic<std::int64_t>& reexecs);
   void attach_metrics();
 
   /// Pre-resolved "fock/..." instruments (see DistributedFockOptions::
@@ -106,6 +199,7 @@ class DistributedFockBuilder {
     util::Gauge* phase_get = nullptr;
     util::Gauge* phase_execute = nullptr;
     util::Gauge* phase_accumulate = nullptr;
+    util::Gauge* reduction_buffers = nullptr;
   };
 
   const chem::BasisSet* basis_;
@@ -113,12 +207,20 @@ class DistributedFockBuilder {
   DistributedFockOptions options_;
   chem::FockBuilder fock_;
   std::vector<chem::ShellPairTask> tasks_;
+  /// Fixed reduction-slot partition: slots_[s] = [first, last) task
+  /// range, slot_costs_[s] = summed cost estimate (for the balancer).
+  std::vector<std::pair<std::int64_t, std::int64_t>> slots_;
+  std::vector<double> slot_costs_;
+  /// One persistent pool per rank (reused across SCF iterations).
+  std::vector<std::unique_ptr<exec::ThreadPool>> pools_;
+  JkBufferPool buffer_pool_;
   exec::ExecutionStats last_stats_;
   int builds_ = 0;
   std::int64_t last_reexecs_ = 0;
   FockMetrics metrics_;
   // Screening totals over all tasks (density-independent, so computed
-  // once at attach time): ket pairs scanned vs surviving Schwarz.
+  // once at construction): ket pairs scanned vs surviving Schwarz.
+  // Tallied into the counters once per build, rounded to nearest.
   double scan_total_ = 0.0;
   double survived_total_ = 0.0;
 };

@@ -1,0 +1,82 @@
+#include "exec/thread_pool.hpp"
+
+#include <stdexcept>
+
+namespace emc::exec {
+
+ThreadPool::ThreadPool(int n_threads) : n_threads_(n_threads) {
+  if (n_threads < 1) {
+    throw std::invalid_argument("ThreadPool: n_threads must be >= 1");
+  }
+  workers_.reserve(static_cast<std::size_t>(n_threads - 1));
+  for (int t = 1; t < n_threads; ++t) {
+    workers_.emplace_back([this, t] { worker_loop(t); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop(int thread_id) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(int)>* body = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock,
+                     [&] { return stopping_ || epoch_ != seen_epoch; });
+      if (stopping_) return;
+      seen_epoch = epoch_;
+      body = body_;
+    }
+    try {
+      (*body)(thread_id);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++workers_done_;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::run(const std::function<void(int)>& body) {
+  if (n_threads_ == 1) {
+    body(0);  // caller-only fast path; exceptions propagate directly
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    body_ = &body;
+    workers_done_ = 0;
+    first_error_ = nullptr;
+    ++epoch_;
+  }
+  start_cv_.notify_all();
+  try {
+    body(0);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return workers_done_ == n_threads_ - 1; });
+  body_ = nullptr;
+  if (first_error_) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace emc::exec

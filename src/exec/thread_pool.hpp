@@ -1,0 +1,68 @@
+#pragma once
+
+// Persistent intra-rank worker pool with SPMD dispatch.
+//
+// Each PGAS rank owns one ThreadPool; run(body) executes body(thread_id)
+// once on every thread of the pool, with the CALLER participating as
+// thread 0 — so a pool of size 1 spawns no workers at all and the hybrid
+// build degenerates to the plain per-rank loop with zero overhead.
+//
+// Workers are parked on a condition variable between runs (no spinning),
+// woken by an epoch bump, and reused across SCF iterations. The first
+// exception thrown by any participant (including the caller) is captured
+// and rethrown from run() after every thread has finished the epoch, so
+// a failing task body cannot leave the pool mid-dispatch.
+//
+// All shared dispatch state (epoch, body pointer, completion count,
+// error slot) is guarded by one mutex; the cv wait/notify pairs give the
+// happens-before edges that publish the body's captures to workers and
+// their side effects back to the caller. This is what makes pool-executed
+// writes safe to read from the rank thread after run() returns — the
+// "snapshot after join" contract that MetricsRegistry::snapshot and the
+// reduction trees rely on.
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace emc::exec {
+
+class ThreadPool {
+ public:
+  /// Spawns n_threads - 1 parked workers (the caller is thread 0).
+  /// Throws std::invalid_argument when n_threads < 1.
+  explicit ThreadPool(int n_threads);
+
+  /// Joins all workers. Must not be called while a run() is in flight.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return n_threads_; }
+
+  /// Executes body(t) once for every t in [0, size()), caller included,
+  /// and returns after ALL threads finished the epoch. Rethrows the
+  /// first captured exception. Not reentrant: one run() at a time.
+  void run(const std::function<void(int)>& body);
+
+ private:
+  void worker_loop(int thread_id);
+
+  int n_threads_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* body_ = nullptr;  // valid for one epoch
+  std::uint64_t epoch_ = 0;
+  int workers_done_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace emc::exec

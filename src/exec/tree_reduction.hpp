@@ -1,0 +1,149 @@
+#pragma once
+
+// Fixed-shape pairwise tree reduction over a set of leaf partials.
+//
+// Floating-point addition commutes but does not associate, so a sum's
+// bits are fixed only when its GROUPING is fixed. This tree pins the
+// grouping: n_leaves slots are laid out as the leaves of a complete
+// binary tree (width = bit_ceil(n_leaves), heap indexing, node 1 =
+// root), and a parent always merges left-child += right-child. Which
+// THREAD delivers a leaf, and in which ORDER leaves arrive, cannot
+// change the result — only the leaf→value mapping can. That is the
+// determinism anchor of the hybrid Fock build: as long as the slot
+// partition and the set of non-empty leaves are schedule-independent,
+// the root is bitwise identical for any thread count or interleaving.
+//
+// Empty leaves (complete(leaf, nullptr), and the padding up to the
+// power-of-two width) contribute nothing: a null child passes its
+// sibling's buffer through unmerged, which keeps the grouping of the
+// REMAINING leaves a pure function of the non-empty set — no merges
+// with zero buffers, no -0.0 surprises, and no allocation for slots a
+// rank never executed.
+//
+// Merges run under the tree's mutex, in the completing thread: the last
+// sibling to arrive performs the merge and keeps climbing. This
+// serializes merge work per tree (documented trade-off — merge cost is
+// O(n^2) per node versus the O(n^2 * tasks) kernel work per leaf) but
+// makes the structure trivially race-free; right-child buffers are
+// handed to the release hook as soon as they fold in, which is what
+// bounds the live buffer set to O(threads + log slots) per rank.
+
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+namespace emc::exec {
+
+template <typename Buffer>
+class TreeReduction {
+ public:
+  /// merge(left, right): fold right into left (left += right).
+  using MergeFn = std::function<void(Buffer&, Buffer&)>;
+  /// release(buf): recycle a folded-in right-child buffer.
+  using ReleaseFn = std::function<void(Buffer*)>;
+
+  TreeReduction(std::int64_t n_leaves, MergeFn merge, ReleaseFn release)
+      : n_leaves_(n_leaves), merge_(std::move(merge)),
+        release_(std::move(release)) {
+    if (n_leaves < 0) {
+      throw std::invalid_argument("TreeReduction: negative leaf count");
+    }
+    if (n_leaves == 0) return;  // take_root() returns nullptr
+    width_ = static_cast<std::int64_t>(
+        std::bit_ceil(static_cast<std::uint64_t>(n_leaves)));
+    nodes_.resize(static_cast<std::size_t>(2 * width_));
+    // Padding leaves [n_leaves, width) are permanently empty; complete
+    // them now so all-padding subtrees propagate without any caller.
+    for (std::int64_t leaf = n_leaves; leaf < width_; ++leaf) {
+      complete_node(width_ + leaf);
+    }
+  }
+
+  std::int64_t leaves() const { return n_leaves_; }
+
+  /// Delivers leaf's partial (nullptr = empty leaf). Each leaf completes
+  /// exactly once; the call that closes the last open sibling pair also
+  /// performs the merges up the tree. Thread-safe.
+  void complete(std::int64_t leaf, Buffer* partial) {
+    if (leaf < 0 || leaf >= n_leaves_) {
+      throw std::out_of_range("TreeReduction::complete: bad leaf index");
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    Node& node = nodes_[static_cast<std::size_t>(width_ + leaf)];
+    if (node.done) {
+      throw std::logic_error("TreeReduction::complete: leaf completed twice");
+    }
+    node.buffer = partial;
+    complete_node(width_ + leaf);
+  }
+
+  /// Completes every still-open leaf as empty. For dynamic schedules
+  /// (counter / work stealing) where a rank only learns which slots it
+  /// did NOT execute once the global loop terminates.
+  void complete_missing() {
+    if (n_leaves_ == 0) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::int64_t leaf = 0; leaf < n_leaves_; ++leaf) {
+      if (!nodes_[static_cast<std::size_t>(width_ + leaf)].done) {
+        complete_node(width_ + leaf);
+      }
+    }
+  }
+
+  /// Root partial once every leaf completed (nullptr when all leaves
+  /// were empty). Ownership passes to the caller; callable once.
+  Buffer* take_root() {
+    if (n_leaves_ == 0) return nullptr;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!nodes_[1].done) {
+      throw std::logic_error("TreeReduction::take_root: leaves still open");
+    }
+    Buffer* root = nodes_[1].buffer;
+    nodes_[1].buffer = nullptr;
+    return root;
+  }
+
+ private:
+  struct Node {
+    Buffer* buffer = nullptr;
+    bool done = false;
+  };
+
+  // Marks node i done and climbs: whenever both siblings are done, the
+  // parent takes (left merged with right) and the climb continues.
+  // Caller holds mutex_ (the constructor is pre-concurrency).
+  void complete_node(std::int64_t i) {
+    nodes_[static_cast<std::size_t>(i)].done = true;
+    while (i > 1) {
+      const std::int64_t sibling = i ^ 1;
+      if (!nodes_[static_cast<std::size_t>(sibling)].done) return;
+      const std::int64_t parent = i >> 1;
+      Node& left = nodes_[static_cast<std::size_t>(parent * 2)];
+      Node& right = nodes_[static_cast<std::size_t>(parent * 2 + 1)];
+      Node& up = nodes_[static_cast<std::size_t>(parent)];
+      if (left.buffer != nullptr && right.buffer != nullptr) {
+        merge_(*left.buffer, *right.buffer);
+        release_(right.buffer);
+        up.buffer = left.buffer;
+      } else {
+        up.buffer = left.buffer != nullptr ? left.buffer : right.buffer;
+      }
+      left.buffer = nullptr;
+      right.buffer = nullptr;
+      up.done = true;
+      i = parent;
+    }
+  }
+
+  std::int64_t n_leaves_ = 0;
+  std::int64_t width_ = 0;  // bit_ceil(n_leaves); leaves at [width, 2*width)
+  MergeFn merge_;
+  ReleaseFn release_;
+  std::mutex mutex_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace emc::exec

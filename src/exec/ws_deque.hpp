@@ -75,7 +75,12 @@ class WsDeque {
     return value;
   }
 
-  /// Approximate size (safe to call concurrently; may be stale).
+  /// Approximate size. Safe to call concurrently, but both loads are
+  /// relaxed: mid-run the value may be stale or torn relative to any
+  /// other observation (it can even exceed the number of elements a
+  /// subsequent pop/steal sequence yields). Use it only as a heuristic
+  /// (steal-half sizing) or AFTER the owning run has joined — the
+  /// snapshot-after-join contract of MetricsRegistry::snapshot.
   std::int64_t size_estimate() const {
     const std::int64_t b = bottom_.load(std::memory_order_relaxed);
     const std::int64_t t = top_.load(std::memory_order_relaxed);

@@ -123,6 +123,20 @@ class MetricsRegistry {
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
 
+  /// Point-in-time copy of every metric's value.
+  ///
+  /// SNAPSHOT-AFTER-JOIN CONTRACT: all updates are relaxed atomics, so
+  /// a snapshot taken while writer threads are still running may
+  /// observe torn in-flight aggregates — e.g. a histogram whose count
+  /// no longer equals the sum of its bins, or a counter mid-batch.
+  /// Each individual load is atomic (never garbage), but there is no
+  /// cross-metric or cross-field ordering. Exact, mutually consistent
+  /// values are guaranteed only once the writing threads have been
+  /// joined (thread join / ThreadPool::run return / Runtime::run return
+  /// all publish a happens-before edge). Bench drivers and reports must
+  /// therefore snapshot AFTER the run they report on has joined —
+  /// enforced by tests/test_util.cpp SnapshotAfterJoinIsExact. The same
+  /// caveat applies to exec::WsDeque::size_estimate.
   MetricsSnapshot snapshot() const;
   /// Zeroes every metric's value; registrations (and outstanding
   /// references) stay valid.

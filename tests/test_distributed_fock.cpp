@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstring>
 
 #include "chem/scf.hpp"
@@ -174,6 +175,197 @@ TEST_F(DistributedFockTest, FaultInjectedBuildIsBitwiseIdentical) {
   EXPECT_EQ(std::memcmp(g_faulty.data(), g_replay.data(),
                         n * n * sizeof(double)),
             0);
+}
+
+// ---------------------------------------------------------------------
+// Hybrid ranks × threads determinism suite. The contract (DESIGN.md
+// "Hybrid execution"): for any deterministic task→rank assignment —
+// the static model, or any model at 1 rank — the G matrix is BITWISE
+// identical across thread counts, intra-rank policies, scheduling
+// interleavings, and fault injection. 2 static ranks keep the
+// cross-rank accumulate bitwise-commutative, so the whole pipeline is
+// exact end to end.
+
+using core::IntraPolicy;
+
+class HybridFockTest : public DistributedFockTest {
+ protected:
+  linalg::Matrix make_density() const {
+    const auto n = static_cast<std::size_t>(basis.function_count());
+    linalg::Matrix density(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        density(i, j) = (i == j ? 1.0 : 0.03);
+      }
+    }
+    return density;
+  }
+
+  static bool bitwise_equal(const linalg::Matrix& a,
+                            const linalg::Matrix& b) {
+    return a.rows() == b.rows() && a.cols() == b.cols() &&
+           std::memcmp(a.data(), b.data(),
+                       a.rows() * a.cols() * sizeof(double)) == 0;
+  }
+
+  static const char* intra_name(IntraPolicy p) {
+    switch (p) {
+      case IntraPolicy::kStatic: return "static";
+      case IntraPolicy::kCounter: return "counter";
+      case IntraPolicy::kWorkStealing: return "ws";
+    }
+    return "?";
+  }
+};
+
+TEST_F(HybridFockTest, BitwiseIdenticalAcrossThreadsAndIntraPolicies) {
+  const linalg::Matrix density = make_density();
+  const std::size_t n = density.rows();
+
+  // Reference: the classic serial-per-rank loop.
+  DistributedFockOptions ref_options;
+  ref_options.model = ExecModel::kStatic;
+  ref_options.static_balancer = "lpt";
+  ref_options.threads = 1;
+  pgas::Runtime ref_runtime(2);
+  DistributedFockBuilder ref_builder(basis, ref_runtime, ref_options);
+  const linalg::Matrix g_ref = ref_builder.build_g(density);
+  const std::int64_t n_tasks = ref_builder.last_stats().total_tasks();
+
+  for (const int threads : {1, 2, 8}) {
+    for (const IntraPolicy intra :
+         {IntraPolicy::kStatic, IntraPolicy::kCounter,
+          IntraPolicy::kWorkStealing}) {
+      DistributedFockOptions options = ref_options;
+      options.threads = threads;
+      options.intra_policy = intra;
+      options.intra_chunk = 2;
+      pgas::Runtime runtime(2);
+      DistributedFockBuilder builder(basis, runtime, options);
+      const linalg::Matrix g = builder.build_g(density);
+      EXPECT_TRUE(bitwise_equal(g_ref, g))
+          << "threads=" << threads << " intra=" << intra_name(intra);
+      // Stats stay in TASK units whatever the slot scheduling did.
+      EXPECT_EQ(builder.last_stats().total_tasks(), n_tasks)
+          << "threads=" << threads << " intra=" << intra_name(intra);
+    }
+  }
+  ASSERT_EQ(g_ref.rows(), n);  // silences unused-variable pedantry
+}
+
+TEST_F(HybridFockTest, SingleRankBitwiseIdenticalAcrossInterModels) {
+  // At 1 rank every inter model degenerates to "this rank executes all
+  // slots", so even counter and work stealing must be bitwise stable
+  // across thread counts — the tree grouping is all that matters.
+  const linalg::Matrix density = make_density();
+  linalg::Matrix reference;
+  bool have_reference = false;
+  for (const ExecModel model :
+       {ExecModel::kStatic, ExecModel::kCounter, ExecModel::kWorkStealing}) {
+    for (const int threads : {1, 2, 8}) {
+      DistributedFockOptions options;
+      options.model = model;
+      options.threads = threads;
+      options.intra_policy = IntraPolicy::kWorkStealing;
+      pgas::Runtime runtime(1);
+      DistributedFockBuilder builder(basis, runtime, options);
+      const linalg::Matrix g = builder.build_g(density);
+      if (!have_reference) {
+        reference = g;
+        have_reference = true;
+        continue;
+      }
+      EXPECT_TRUE(bitwise_equal(reference, g))
+          << "model=" << static_cast<int>(model) << " threads=" << threads;
+    }
+  }
+}
+
+TEST_F(HybridFockTest, FaultedBuildsStayBitwiseAndReexecsDeterministic) {
+  // Task faults are a stateless hash of (seed, task, attempt) —
+  // executor-independent — so under threading the G matrix AND the
+  // re-execution count must both replay exactly, and match the
+  // fault-free build bitwise.
+  const linalg::Matrix density = make_density();
+
+  DistributedFockOptions clean_options;
+  clean_options.model = ExecModel::kStatic;
+  clean_options.static_balancer = "lpt";
+  pgas::Runtime clean_runtime(2);
+  DistributedFockBuilder clean(basis, clean_runtime, clean_options);
+  const linalg::Matrix g_clean = clean.build_g(density);
+
+  std::int64_t expected_reexecs = -1;
+  for (const int threads : {1, 2, 8}) {
+    for (const IntraPolicy intra :
+         {IntraPolicy::kStatic, IntraPolicy::kCounter,
+          IntraPolicy::kWorkStealing}) {
+      DistributedFockOptions options = clean_options;
+      options.threads = threads;
+      options.intra_policy = intra;
+      options.task_faults.fail_prob = 0.3;
+      options.task_faults.reexec_delay_ns = 100;
+      pgas::Runtime runtime(2);
+      DistributedFockBuilder builder(basis, runtime, options);
+      const linalg::Matrix g = builder.build_g(density);
+      EXPECT_TRUE(bitwise_equal(g_clean, g))
+          << "threads=" << threads << " intra=" << intra_name(intra);
+      if (expected_reexecs < 0) {
+        expected_reexecs = builder.last_task_reexecutions();
+        EXPECT_GT(expected_reexecs, 0);
+      } else {
+        EXPECT_EQ(builder.last_task_reexecutions(), expected_reexecs)
+            << "threads=" << threads << " intra=" << intra_name(intra);
+      }
+    }
+  }
+}
+
+TEST_F(HybridFockTest, HybridScfMatchesSequentialAndCountsCounterOps) {
+  // Full SCF through the hybrid path: threads + intra counter under the
+  // global-counter inter model (R·T contenders on one nxtval).
+  pgas::Runtime runtime(2);
+  DistributedFockOptions options;
+  options.model = ExecModel::kCounter;
+  options.counter_chunk = 2;
+  options.threads = 4;
+  options.intra_policy = IntraPolicy::kCounter;
+  DistributedFockBuilder builder(basis, runtime, options);
+  const chem::ScfResult r =
+      chem::run_rhf_with_builder(mol, basis, builder.as_g_builder());
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.energy, reference.energy, 1e-9);
+  EXPECT_GT(builder.last_stats().ranks[0].counter_ops, 0);
+}
+
+TEST_F(HybridFockTest, ReductionBufferPoolStaysBounded) {
+  // The pool must grow with threads + log2(slots), NOT with
+  // ranks · slots — the memory fix over the old 3·ranks·n² replicas.
+  const linalg::Matrix density = make_density();
+  util::MetricsRegistry registry;
+  DistributedFockOptions options;
+  options.model = ExecModel::kStatic;
+  options.threads = 4;
+  options.intra_policy = IntraPolicy::kWorkStealing;
+  options.metrics = &registry;
+  pgas::Runtime runtime(2);
+  DistributedFockBuilder builder(basis, runtime, options);
+  builder.build_g(density);
+  builder.build_g(density);  // second build reuses, never regrows
+  const double buffers =
+      registry.gauge("fock/reduction_buffers").value();
+  const auto slots = static_cast<double>(builder.slot_count());
+  EXPECT_GT(buffers, 0.0);
+  EXPECT_LT(buffers, 2.0 * (4 + std::log2(slots + 1) + 1) + 4.0)
+      << "pool grew beyond the ranks·(threads + log2 slots) envelope";
+}
+
+TEST_F(HybridFockTest, RejectsNonPositiveThreads) {
+  pgas::Runtime runtime(2);
+  DistributedFockOptions options;
+  options.threads = 0;
+  EXPECT_THROW(DistributedFockBuilder builder(basis, runtime, options),
+               std::invalid_argument);
 }
 
 }  // namespace

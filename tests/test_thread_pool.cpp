@@ -1,0 +1,259 @@
+// exec::ThreadPool (persistent SPMD worker pool) and
+// exec::TreeReduction (fixed-shape pairwise tree): the two primitives
+// the hybrid Fock build's bitwise-determinism contract rests on. The
+// tree tests drive completion from many threads in adversarial orders
+// and demand the root stay bitwise identical to a serial reference —
+// exactly the property tests/test_distributed_fock.cpp then asserts
+// end to end.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+#include "exec/tree_reduction.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using emc::exec::ThreadPool;
+using emc::exec::TreeReduction;
+
+TEST(ThreadPool, RunsBodyOnceOnEveryThread) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::vector<std::atomic<int>> hits(4);
+  pool.run([&](int tid) { hits[static_cast<std::size_t>(tid)]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, CallerParticipatesAsThreadZero) {
+  ThreadPool pool(3);
+  std::thread::id thread0_id;
+  pool.run([&](int tid) {
+    if (tid == 0) thread0_id = std::this_thread::get_id();
+  });
+  EXPECT_EQ(thread0_id, std::this_thread::get_id());
+}
+
+TEST(ThreadPool, SingleThreadPoolSpawnsNothingAndRunsInline) {
+  ThreadPool pool(1);
+  int runs = 0;
+  std::thread::id id;
+  pool.run([&](int tid) {
+    EXPECT_EQ(tid, 0);
+    ++runs;
+    id = std::this_thread::get_id();
+  });
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(id, std::this_thread::get_id());
+}
+
+TEST(ThreadPool, ReusableAcrossManyEpochs) {
+  ThreadPool pool(4);
+  std::atomic<std::int64_t> total{0};
+  for (int epoch = 0; epoch < 200; ++epoch) {
+    pool.run([&](int tid) {
+      total.fetch_add(tid + 1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 200 * (1 + 2 + 3 + 4));
+}
+
+TEST(ThreadPool, RethrowsFirstExceptionAndStaysUsable) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.run([&](int tid) {
+                 if (tid == 2) throw std::runtime_error("boom");
+               }),
+               std::runtime_error);
+  // The failed epoch fully joined; the pool dispatches again.
+  std::atomic<int> hits{0};
+  pool.run([&](int) { hits.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(hits.load(), 4);
+}
+
+TEST(ThreadPool, CallerExceptionAlsoWaitsForWorkers) {
+  ThreadPool pool(4);
+  std::atomic<int> finished{0};
+  EXPECT_THROW(pool.run([&](int tid) {
+                 if (tid == 0) throw std::logic_error("caller died");
+                 finished.fetch_add(1, std::memory_order_relaxed);
+               }),
+               std::logic_error);
+  // All three workers completed their body before run() returned.
+  EXPECT_EQ(finished.load(), 3);
+}
+
+TEST(ThreadPool, RejectsZeroThreads) {
+  EXPECT_THROW(ThreadPool pool(0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// TreeReduction
+
+// Serial reference for the tree's fixed grouping: fold the leaf values
+// pairwise over a bit_ceil-wide heap, skipping empty leaves.
+double reference_tree_sum(const std::vector<double>& leaves,
+                          const std::vector<bool>& present) {
+  struct Part {
+    double value = 0.0;
+    bool empty = true;
+  };
+  std::size_t width = 1;
+  while (width < leaves.size()) width *= 2;
+  std::vector<Part> level(width);
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    if (present[i]) level[i] = {leaves[i], false};
+  }
+  while (level.size() > 1) {
+    std::vector<Part> next(level.size() / 2);
+    for (std::size_t i = 0; i < next.size(); ++i) {
+      const Part& l = level[2 * i];
+      const Part& r = level[2 * i + 1];
+      if (l.empty) {
+        next[i] = r;
+      } else if (r.empty) {
+        next[i] = l;
+      } else {
+        next[i] = {l.value + r.value, false};
+      }
+    }
+    level = std::move(next);
+  }
+  return level[0].empty ? 0.0 : level[0].value;
+}
+
+// Completes leaves from `threads` threads in a seeded random order and
+// returns the root sum (0.0 for an all-empty tree).
+double tree_sum_with_order(const std::vector<double>& leaves,
+                           const std::vector<bool>& present, int threads,
+                           std::uint64_t order_seed) {
+  const auto n = static_cast<std::int64_t>(leaves.size());
+  std::vector<std::unique_ptr<double>> allocations;
+  TreeReduction<double> tree(
+      n, [](double& left, double& right) { left += right; },
+      [](double*) {});
+  std::vector<std::int64_t> order(leaves.size());
+  std::iota(order.begin(), order.end(), 0);
+  emc::Rng rng(order_seed);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.below(i)]);
+  }
+  allocations.reserve(leaves.size());
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    allocations.push_back(std::make_unique<double>(leaves[i]));
+  }
+  std::atomic<std::size_t> cursor{0};
+  ThreadPool pool(threads);
+  pool.run([&](int) {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= order.size()) break;
+      const std::int64_t leaf = order[i];
+      tree.complete(leaf, present[static_cast<std::size_t>(leaf)]
+                              ? allocations[static_cast<std::size_t>(leaf)]
+                                    .get()
+                              : nullptr);
+    }
+  });
+  const double* root = tree.take_root();
+  return root != nullptr ? *root : 0.0;
+}
+
+TEST(TreeReduction, RootIsBitwiseIndependentOfCompletionOrderAndThreads) {
+  // Values chosen to make grouping matter: wildly mixed magnitudes, so
+  // any associativity change flips low-order bits.
+  emc::Rng rng(42);
+  const std::int64_t n = 37;  // not a power of two: padding in play
+  std::vector<double> leaves(static_cast<std::size_t>(n));
+  std::vector<bool> present(static_cast<std::size_t>(n), true);
+  for (auto& v : leaves) {
+    v = rng.uniform(-1.0, 1.0) * std::pow(10.0, rng.range(-12, 12));
+  }
+  present[3] = present[17] = present[36] = false;  // empty leaves
+
+  const double expected = reference_tree_sum(leaves, present);
+  for (const int threads : {1, 2, 8}) {
+    for (std::uint64_t order_seed = 0; order_seed < 5; ++order_seed) {
+      const double got =
+          tree_sum_with_order(leaves, present, threads, order_seed);
+      std::uint64_t got_bits, want_bits;
+      std::memcpy(&got_bits, &got, sizeof(double));
+      std::memcpy(&want_bits, &expected, sizeof(double));
+      EXPECT_EQ(got_bits, want_bits)
+          << "threads=" << threads << " order_seed=" << order_seed;
+    }
+  }
+}
+
+TEST(TreeReduction, AllEmptyLeavesYieldNullRoot) {
+  TreeReduction<double> tree(
+      6, [](double& l, double& r) { l += r; }, [](double*) {});
+  for (std::int64_t i = 0; i < 6; ++i) tree.complete(i, nullptr);
+  EXPECT_EQ(tree.take_root(), nullptr);
+}
+
+TEST(TreeReduction, CompleteMissingClosesOpenLeaves) {
+  double seven = 7.0;
+  TreeReduction<double> tree(
+      5, [](double& l, double& r) { l += r; }, [](double*) {});
+  tree.complete(2, &seven);
+  tree.complete_missing();
+  const double* root = tree.take_root();
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(*root, 7.0);
+}
+
+TEST(TreeReduction, SingleLeafAndZeroLeafEdges) {
+  double one = 1.0;
+  TreeReduction<double> single(
+      1, [](double& l, double& r) { l += r; }, [](double*) {});
+  single.complete(0, &one);
+  EXPECT_EQ(single.take_root(), &one);
+
+  TreeReduction<double> empty(
+      0, [](double& l, double& r) { l += r; }, [](double*) {});
+  EXPECT_EQ(empty.take_root(), nullptr);
+}
+
+TEST(TreeReduction, ReleasesExactlyTheFoldedBuffers) {
+  // n leaves all present: n-1 merges, each releasing its right child;
+  // the root is the one surviving buffer.
+  const std::int64_t n = 11;
+  std::vector<std::unique_ptr<double>> bufs;
+  for (std::int64_t i = 0; i < n; ++i) {
+    bufs.push_back(std::make_unique<double>(1.0));
+  }
+  std::atomic<int> released{0};
+  TreeReduction<double> tree(
+      n, [](double& l, double& r) { l += r; },
+      [&](double*) { released.fetch_add(1, std::memory_order_relaxed); });
+  for (std::int64_t i = 0; i < n; ++i) {
+    tree.complete(i, bufs[static_cast<std::size_t>(i)].get());
+  }
+  EXPECT_EQ(released.load(), n - 1);
+  const double* root = tree.take_root();
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(*root, static_cast<double>(n));
+}
+
+TEST(TreeReduction, GuardsAgainstMisuse) {
+  double v = 1.0;
+  TreeReduction<double> tree(
+      3, [](double& l, double& r) { l += r; }, [](double*) {});
+  EXPECT_THROW(tree.complete(-1, &v), std::out_of_range);
+  EXPECT_THROW(tree.complete(3, &v), std::out_of_range);
+  EXPECT_THROW(tree.take_root(), std::logic_error);  // leaves still open
+  tree.complete(1, &v);
+  EXPECT_THROW(tree.complete(1, &v), std::logic_error);  // double complete
+}
+
+}  // namespace

@@ -9,6 +9,8 @@
 #include <limits>
 #include <set>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "util/cli.hpp"
@@ -581,6 +583,53 @@ TEST(MetricsTest, HistogramSnapshotCarriesMean) {
                        .object.at("mean")
                        .number,
                    2.0);
+}
+
+TEST(MetricsTest, SnapshotAfterJoinIsExact) {
+  // Regression test for the snapshot-after-join contract
+  // (MetricsRegistry::snapshot doc): metric updates are relaxed
+  // atomics, so a snapshot is only guaranteed exact and mutually
+  // consistent once the writing threads have joined. Hammer one
+  // counter, one gauge, and one histogram from several threads, join,
+  // and demand every aggregate agrees with arithmetic — including the
+  // histogram's count == sum of its bin counts, the first thing a
+  // mid-run snapshot would tear.
+  emc::util::MetricsRegistry reg;
+  emc::util::Counter& counter = reg.counter("join/counter");
+  emc::util::Gauge& gauge = reg.gauge("join/gauge");
+  emc::util::Histogram& hist = reg.histogram("join/hist");
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::thread> writers;
+    writers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      writers.emplace_back([&, t] {
+        for (int i = 0; i < kIters; ++i) {
+          counter.add(1);
+          gauge.add(1.0);
+          hist.record(static_cast<double>((t % 4) + 1));
+        }
+      });
+    }
+    for (auto& w : writers) w.join();  // happens-before the snapshot
+
+    const auto snap = reg.snapshot();
+    const std::int64_t expected =
+        static_cast<std::int64_t>(kThreads) * kIters * (round + 1);
+    EXPECT_EQ(snap.counters.at("join/counter"), expected);
+    EXPECT_DOUBLE_EQ(snap.gauges.at("join/gauge"),
+                     static_cast<double>(expected));
+    const auto& h = snap.histograms.at("join/hist");
+    EXPECT_EQ(h.count, expected);
+    std::int64_t binned = 0;
+    for (const auto& [edge, count] : h.bins) binned += count;
+    EXPECT_EQ(binned, h.count) << "torn histogram: bins disagree with count";
+    // Sum of small integers is exact in double.
+    EXPECT_DOUBLE_EQ(h.sum, static_cast<double>(kThreads / 4) * kIters *
+                                (1.0 + 2.0 + 3.0 + 4.0) * (round + 1));
+  }
 }
 
 }  // namespace

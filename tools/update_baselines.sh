@@ -29,9 +29,10 @@ run bench_faults   --smoke --report="$scratch/BENCH_faults.json"
 run bench_topology --smoke --report="$scratch/BENCH_topology.json"
 run bench_trace    --smoke --report="$scratch/BENCH_trace.json" \
                    --trace=BENCH_trace.chrome.json
+run bench_hybrid   --smoke --report="$scratch/BENCH_hybrid.json"
 
 mkdir -p "$baselines"
-for b in simspeed kernel faults topology trace; do
+for b in simspeed kernel faults topology trace hybrid; do
   "$compare" --update-baseline \
     "$baselines/BENCH_$b.json" "$scratch/BENCH_$b.json"
 done
