@@ -38,6 +38,17 @@ struct TaskCostFeatures {
   double scan = 0.0;           ///< ket pairs scanned (rank + 1)
 };
 
+/// THREAD SAFETY: a FockBuilder is immutable after construction (pair
+/// cache + Schwarz matrix are materialized in the constructor) and its
+/// const methods are stateless per call — execute_task/build_g use only
+/// function-local scratch (the HermiteR workspace lives on the stack of
+/// each call) and the Boys table behind them is a thread-safe
+/// function-local static. Any number of threads may therefore run
+/// builds off ONE shared builder concurrently, each against its own
+/// accumulators; results are bitwise reproducible. This is the contract
+/// the serving layer's cross-request cache (serve::FockCache) and the
+/// hybrid executor rely on; guarded by the TSan-covered
+/// SharedFockBuilderTest in tests/test_serve.cpp.
 class FockBuilder {
  public:
   /// Precomputes Schwarz bounds for screening. `screen_threshold` is the

@@ -64,6 +64,14 @@ ShellPairData make_shell_pair(const Shell& a, const Shell& b);
 /// All canonical shell pairs (i >= j) of a basis set, indexed by
 /// pair_rank(i, j). This is the cache a FockBuilder owns: bra data is
 /// reused across a task's whole ket loop and ket data across all tasks.
+///
+/// THREAD SAFETY: immutable after construction. Every member is const-
+/// qualified read-only access into data fully materialized by the
+/// constructor — there is no lazy filling, memoization, or mutable
+/// workspace — so one ShellPairList may be shared by any number of
+/// concurrent readers (the serving layer's cross-request FockCache
+/// relies on this; guarded by the TSan-covered
+/// SharedFockBuilderTest.ConcurrentBuildsOffOneBuilderAreBitwise).
 class ShellPairList {
  public:
   explicit ShellPairList(const BasisSet& basis);

@@ -42,16 +42,27 @@ void atomic_max(std::atomic<double>& target, double value) {
 void Gauge::add(double delta) { atomic_add(value_, delta); }
 
 void Histogram::record(double value) {
-  int bin = 0;
+  int fine = 0;
   if (value > 0.0) {
     int exp = 0;
-    std::frexp(value, &exp);  // value = m * 2^exp, m in [0.5, 1)
-    bin = exp - 1 - kMinExp;  // floor(log2(value)) - kMinExp
-    if (bin < 0) bin = 0;
-    if (bin >= kBins) bin = kBins - 1;
+    const double m = std::frexp(value, &exp);  // value = m * 2^exp, m in [0.5, 1)
+    int bin = exp - 1 - kMinExp;  // floor(log2(value)) - kMinExp
+    int sub = 0;
+    if (bin < 0) {
+      bin = 0;  // below range: clamp to the very first sub-bin
+    } else if (bin >= kBins) {
+      bin = kBins - 1;  // above range: clamp to the very last sub-bin
+      sub = kSubBins - 1;
+    } else {
+      // Mantissa in [0.5, 1) maps linearly onto the kSubBins sub-bins.
+      sub = static_cast<int>((m - 0.5) * 2.0 * kSubBins);
+      if (sub < 0) sub = 0;
+      if (sub >= kSubBins) sub = kSubBins - 1;
+    }
+    fine = bin * kSubBins + sub;
   }
-  bins_[static_cast<std::size_t>(bin)].fetch_add(1,
-                                                 std::memory_order_relaxed);
+  bins_[static_cast<std::size_t>(fine)].fetch_add(1,
+                                                  std::memory_order_relaxed);
   const std::int64_t before =
       count_.fetch_add(1, std::memory_order_relaxed);
   atomic_add(sum_, value);
@@ -80,15 +91,38 @@ double Histogram::max() const {
 
 std::array<std::int64_t, Histogram::kBins> Histogram::bins() const {
   std::array<std::int64_t, kBins> out{};
-  for (int b = 0; b < kBins; ++b) {
-    out[static_cast<std::size_t>(b)] =
-        bins_[static_cast<std::size_t>(b)].load(std::memory_order_relaxed);
+  for (int f = 0; f < kFineBins; ++f) {
+    out[static_cast<std::size_t>(f / kSubBins)] +=
+        bins_[static_cast<std::size_t>(f)].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::array<std::int64_t, Histogram::kFineBins> Histogram::fine_bins() const {
+  std::array<std::int64_t, kFineBins> out{};
+  for (int f = 0; f < kFineBins; ++f) {
+    out[static_cast<std::size_t>(f)] =
+        bins_[static_cast<std::size_t>(f)].load(std::memory_order_relaxed);
   }
   return out;
 }
 
 double Histogram::bin_lower_bound(int bin) {
   return std::ldexp(1.0, bin + kMinExp);
+}
+
+double Histogram::fine_lower_bound(int fine) {
+  const int bin = fine / kSubBins;
+  const int sub = fine % kSubBins;
+  return bin_lower_bound(bin) *
+         (1.0 + static_cast<double>(sub) / static_cast<double>(kSubBins));
+}
+
+double Histogram::fine_upper_bound(int fine) {
+  const int bin = fine / kSubBins;
+  const int sub = fine % kSubBins;
+  return bin_lower_bound(bin) *
+         (1.0 + static_cast<double>(sub + 1) / static_cast<double>(kSubBins));
 }
 
 void Histogram::reset() {
@@ -141,14 +175,39 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
 double MetricsSnapshot::HistogramValue::percentile(double q) const {
   if (count <= 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
+  // Prefer the linear sub-bins (1/kSubBins-of-a-power-of-2 resolution);
+  // hand-built snapshot values without them fall back to the log2 bins.
+  const bool have_fine = !fine.empty();
+  const auto& support = have_fine ? fine : bins;
   const double target = q * static_cast<double>(count);
   double seen = 0.0;
-  for (const auto& [lower, n] : bins) {
+  for (const auto& [lower, n] : support) {
     const double here = static_cast<double>(n);
     if (seen + here >= target) {
       const double frac = here > 0.0 ? (target - seen) / here : 0.0;
-      // Bin b covers [lower, 2 * lower); interpolate linearly inside.
-      const double estimate = lower + frac * lower;
+      // Recover the bin's exclusive upper edge from its lower edge: a
+      // linear sub-bin spans 1/kSubBins of its power-of-two bracket
+      // [L, 2L) (lower is in [L, 2L), so L = 2^(exp-1)); a log2 bin
+      // spans the whole bracket.
+      double upper;
+      if (have_fine) {
+        int exp = 0;
+        std::frexp(lower, &exp);
+        upper = lower + std::ldexp(1.0, exp - 1) /
+                            static_cast<double>(Histogram::kSubBins);
+      } else {
+        upper = 2.0 * lower;
+      }
+      // Interpolate over the bin's support intersected with the
+      // observed sample range, so the first/last bins don't smear the
+      // estimate below min or above max.
+      double lo = std::max(lower, min);
+      double hi = std::min(upper, max);
+      if (hi < lo) {
+        lo = lower;
+        hi = upper;
+      }
+      const double estimate = lo + frac * (hi - lo);
       return std::clamp(estimate, min, max);
     }
     seen += here;
@@ -176,6 +235,11 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     for (int b = 0; b < Histogram::kBins; ++b) {
       const std::int64_t n = bins[static_cast<std::size_t>(b)];
       if (n > 0) v.bins.emplace_back(Histogram::bin_lower_bound(b), n);
+    }
+    const auto fine = h->fine_bins();
+    for (int f = 0; f < Histogram::kFineBins; ++f) {
+      const std::int64_t n = fine[static_cast<std::size_t>(f)];
+      if (n > 0) v.fine.emplace_back(Histogram::fine_lower_bound(f), n);
     }
     v.p50 = v.percentile(0.50);
     v.p90 = v.percentile(0.90);

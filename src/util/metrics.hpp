@@ -57,10 +57,20 @@ class Gauge {
 /// costs, wait times, transfer sizes — land in stable bins without
 /// configuration. Bin b covers [2^(b + kMinExp), 2^(b + kMinExp + 1));
 /// out-of-range values clamp to the first/last bin.
+///
+/// Internally each log2 bin is subdivided into kSubBins equal-width
+/// LINEAR sub-bins (HdrHistogram-style log-linear binning), so
+/// percentile estimates resolve to 1/kSubBins of the value's
+/// power-of-two bracket instead of the full factor of 2. The exported
+/// log2 bins() aggregate the sub-bins and are bitwise identical to the
+/// pre-sub-bin layout — snapshots, text, and JSON reports are unchanged
+/// except for the sharper p50/p90/p99 values themselves.
 class Histogram {
  public:
   static constexpr int kBins = 64;
   static constexpr int kMinExp = -44;  ///< 2^-44 ~ 5.7e-14 lower edge
+  static constexpr int kSubBins = 8;   ///< linear sub-bins per log2 bin
+  static constexpr int kFineBins = kBins * kSubBins;
 
   void record(double value);
   std::int64_t count() const {
@@ -70,14 +80,21 @@ class Histogram {
   double mean() const;
   double min() const;  ///< 0 when empty
   double max() const;  ///< 0 when empty
-  /// Snapshot of the per-bin counts.
+  /// Snapshot of the per-log2-bin counts (sub-bins aggregated).
   std::array<std::int64_t, kBins> bins() const;
-  /// Lower edge of bin b.
+  /// Snapshot of the per-sub-bin counts (percentile resolution).
+  std::array<std::int64_t, kFineBins> fine_bins() const;
+  /// Lower edge of log2 bin b.
   static double bin_lower_bound(int bin);
+  /// Lower edge of sub-bin f (f = bin * kSubBins + sub): the log2 bin's
+  /// lower edge L scaled by (1 + sub / kSubBins).
+  static double fine_lower_bound(int fine);
+  /// Exclusive upper edge of sub-bin f.
+  static double fine_upper_bound(int fine);
   void reset();
 
  private:
-  std::array<std::atomic<std::int64_t>, kBins> bins_{};
+  std::array<std::atomic<std::int64_t>, kFineBins> bins_{};
   std::atomic<std::int64_t> count_{0};
   std::atomic<double> sum_{0.0};
   std::atomic<double> min_{0.0};
@@ -95,15 +112,29 @@ struct MetricsSnapshot {
     /// Percentile estimates from the binned counts (see percentile());
     /// filled by MetricsRegistry::snapshot and emitted in text/JSON.
     double p50 = 0.0, p90 = 0.0, p99 = 0.0;
-    /// (bin lower edge, count) for non-empty bins only.
+    /// (log2-bin lower edge, count) for non-empty bins only — the
+    /// exported granularity, bitwise identical to the pre-sub-bin
+    /// snapshots.
     std::vector<std::pair<double, std::int64_t>> bins;
+    /// (sub-bin lower edge, count) for non-empty linear sub-bins —
+    /// internal percentile resolution, NOT serialized to text/JSON.
+    std::vector<std::pair<double, std::int64_t>> fine;
 
     /// Percentile estimate for q in [0, 1]: cumulative walk over the
-    /// log2 bins, linear interpolation inside the bin holding the q-th
-    /// sample, clamped to the observed [min, max] (so estimates never
-    /// leave the true sample range). Accuracy is bounded by the bin
-    /// width — within a factor of 2 of the exact sample percentile
-    /// (util/stats.hpp emc::percentile). Returns 0 when empty.
+    /// linear sub-bins (falling back to the log2 bins when `fine` is
+    /// unset, e.g. on hand-built values), linear interpolation inside
+    /// the sub-bin holding the q-th sample over the sub-bin's support
+    /// intersected with the observed [min, max], and a final clamp to
+    /// [min, max] so estimates never leave the true sample range.
+    ///
+    /// EXACTNESS (regression-tested in tests/test_util.cpp):
+    ///   - empty histogram -> 0; q = 0 -> min and q = 1 -> max, exact;
+    ///   - a histogram whose samples share one value is exact at every
+    ///     q (the [min, max] clamp collapses the estimate);
+    ///   - otherwise the error is bounded by the width of one linear
+    ///     sub-bin: 1/kSubBins of the sample's power-of-two bracket
+    ///     (<= 12.5% relative for kSubBins = 8), versus the factor-of-2
+    ///     bound of pure log2 binning.
     double percentile(double q) const;
   };
   std::map<std::string, std::int64_t> counters;

@@ -453,6 +453,108 @@ TEST(MetricsTest, HistogramPercentilesTrackExactPercentiles) {
   EXPECT_NE(out.str().find("p99="), std::string::npos);
 }
 
+TEST(MetricsTest, HistogramSubBinsSharpenPercentiles) {
+  // The log-linear sub-bins (kSubBins per log2 bin) bound the
+  // percentile error by ~one sub-bin width instead of the old factor
+  // of 2 — on a smooth heavy-tailed sample the estimate must sit
+  // within 25% of the exact percentile (2 sub-bin widths of slack for
+  // the convention difference between the cumulative-bin walk and
+  // util/stats' interpolated sample percentile).
+  emc::util::MetricsRegistry reg;
+  emc::util::Histogram& h = reg.histogram("wait");
+  Rng rng(123);
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) {
+    xs.push_back(std::exp(rng.uniform(-14.0, 0.0)));
+    h.record(xs.back());
+  }
+  const auto snap = reg.snapshot();
+  const auto& hv = snap.histograms.at("wait");
+  for (const double q : {0.50, 0.90, 0.99}) {
+    const double exact = emc::percentile(xs, q);
+    const double estimate = hv.percentile(q);
+    EXPECT_GE(estimate, exact * 0.75) << "q=" << q;
+    EXPECT_LE(estimate, exact * 1.25) << "q=" << q;
+  }
+  // q = 0 and q = 1 are exact by the [min, max] clamp.
+  EXPECT_DOUBLE_EQ(hv.percentile(0.0), hv.min);
+  EXPECT_DOUBLE_EQ(hv.percentile(1.0), hv.max);
+}
+
+TEST(MetricsTest, HistogramPercentileResolvesWithinSubBin) {
+  // Two spikes inside ONE log2 bin [1, 2): 1.0 lands in sub-bin
+  // [1, 1.125), 1.9 in [1.875, 2). Pure log2 binning cannot separate
+  // them at all; the sub-bins must.
+  emc::util::MetricsRegistry reg;
+  emc::util::Histogram& h = reg.histogram("spikes");
+  for (int i = 0; i < 50; ++i) h.record(1.0);
+  for (int i = 0; i < 50; ++i) h.record(1.9);
+  const auto snap = reg.snapshot();
+  const auto& hv = snap.histograms.at("spikes");
+  // p50 resolves inside the first spike's sub-bin...
+  EXPECT_GE(hv.p50, 1.0);
+  EXPECT_LE(hv.p50, 1.125);
+  // ...and p99 inside the second's — strictly below max, which the old
+  // factor-of-2 estimate (clamped to max) could never do here.
+  EXPECT_GE(hv.p99, 1.875);
+  EXPECT_LT(hv.p99, 1.9);
+}
+
+TEST(MetricsTest, HistogramFineBinsAggregateToLog2BinsExactly) {
+  // The exported log2 bins are the sub-bins summed in groups of
+  // kSubBins — the bitwise-compatibility contract for snapshots, text,
+  // and JSON reports (which never serialize the sub-bins).
+  using emc::util::Histogram;
+  Histogram h;
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    h.record(std::exp(rng.uniform(-20.0, 5.0)));
+  }
+  const auto coarse = h.bins();
+  const auto fine = h.fine_bins();
+  for (int b = 0; b < Histogram::kBins; ++b) {
+    std::int64_t sum = 0;
+    for (int s = 0; s < Histogram::kSubBins; ++s) {
+      sum += fine[static_cast<std::size_t>(b * Histogram::kSubBins + s)];
+    }
+    EXPECT_EQ(coarse[static_cast<std::size_t>(b)], sum) << "bin " << b;
+  }
+  // Sub-bin edges tile each log2 bin exactly.
+  for (int b = 0; b < Histogram::kBins; b += 13) {
+    const int f0 = b * Histogram::kSubBins;
+    EXPECT_DOUBLE_EQ(Histogram::fine_lower_bound(f0),
+                     Histogram::bin_lower_bound(b));
+    for (int s = 0; s + 1 < Histogram::kSubBins; ++s) {
+      EXPECT_DOUBLE_EQ(Histogram::fine_upper_bound(f0 + s),
+                       Histogram::fine_lower_bound(f0 + s + 1));
+    }
+    EXPECT_DOUBLE_EQ(Histogram::fine_upper_bound(f0 + Histogram::kSubBins - 1),
+                     Histogram::bin_lower_bound(b + 1));
+  }
+  // The JSON export has no sub-bin field: layout is unchanged.
+  emc::util::MetricsRegistry reg;
+  reg.histogram("x").record(1.5);
+  std::ostringstream out;
+  reg.write_json(out);
+  EXPECT_EQ(out.str().find("fine"), std::string::npos);
+}
+
+TEST(MetricsTest, HistogramPercentileFallsBackToCoarseBins) {
+  // Hand-built snapshot values (no `fine` vector) still estimate off
+  // the log2 bins with the original factor-of-2 bound.
+  emc::util::MetricsSnapshot::HistogramValue hv;
+  hv.count = 4;
+  hv.min = 1.0;
+  hv.max = 8.0;
+  hv.bins = {{1.0, 2}, {4.0, 2}};
+  const double p50 = hv.percentile(0.50);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p50, 2.0);
+  const double p99 = hv.percentile(0.99);
+  EXPECT_GE(p99, 4.0);
+  EXPECT_LE(p99, 8.0);
+}
+
 TEST(JsonParserTest, ParsesStructuredDocument) {
   const emc::util::JsonValue doc = emc::util::parse_json(
       R"({"name": "run", "ok": true, "skip": null,

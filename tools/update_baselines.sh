@@ -30,9 +30,10 @@ run bench_topology --smoke --report="$scratch/BENCH_topology.json"
 run bench_trace    --smoke --report="$scratch/BENCH_trace.json" \
                    --trace=BENCH_trace.chrome.json
 run bench_hybrid   --smoke --report="$scratch/BENCH_hybrid.json"
+run bench_serve    --smoke --report="$scratch/BENCH_serve.json"
 
 mkdir -p "$baselines"
-for b in simspeed kernel faults topology trace hybrid; do
+for b in simspeed kernel faults topology trace hybrid serve; do
   "$compare" --update-baseline \
     "$baselines/BENCH_$b.json" "$scratch/BENCH_$b.json"
 done
