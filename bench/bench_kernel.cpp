@@ -37,6 +37,7 @@
 #include "chem/molecule.hpp"
 #include "core/calibration.hpp"
 #include "core/task_model.hpp"
+#include "linalg/lstsq.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -407,33 +408,6 @@ int run_smoke(const std::string& json_path, double min_speedup,
 // --calibrate: re-fit the analytic cost-model constants
 // ---------------------------------------------------------------------------
 
-/// Solves the 5x5 normal equations A c = b by Gaussian elimination with
-/// partial pivoting (small and self-contained on purpose).
-std::vector<double> solve_normal_equations(std::vector<std::vector<double>> a,
-                                           std::vector<double> b) {
-  const std::size_t n = b.size();
-  for (std::size_t col = 0; col < n; ++col) {
-    std::size_t piv = col;
-    for (std::size_t r = col + 1; r < n; ++r) {
-      if (std::abs(a[r][col]) > std::abs(a[piv][col])) piv = r;
-    }
-    std::swap(a[col], a[piv]);
-    std::swap(b[col], b[piv]);
-    for (std::size_t r = col + 1; r < n; ++r) {
-      const double f = a[r][col] / a[col][col];
-      for (std::size_t c = col; c < n; ++c) a[r][c] -= f * a[col][c];
-      b[r] -= f * b[col];
-    }
-  }
-  std::vector<double> x(n, 0.0);
-  for (std::size_t r = n; r-- > 0;) {
-    double s = b[r];
-    for (std::size_t c = r + 1; c < n; ++c) s -= a[r][c] * x[c];
-    x[r] = s / a[r][r];
-  }
-  return x;
-}
-
 int run_calibrate() {
   struct Workload {
     std::string molecule, basis;
@@ -463,46 +437,15 @@ int run_calibrate() {
               << " tasks measured\n";
   }
 
-  // Non-negative least squares by active-set elimination: solve the
-  // normal equations, drop the most-negative coefficient's column, and
-  // refit until all survivors are non-negative. Plain clamping would
-  // leave the redistributed weight of a collinear feature (scan vs
-  // quartets) stranded in the intercept.
+  // Non-negative least squares (src/linalg/lstsq.hpp): active-set
+  // elimination drops collinear or negative-weight features rather than
+  // clamping, so the redistributed weight of a collinear feature (scan
+  // vs quartets) never strands in the intercept.
   const std::size_t dim = 5;
-  std::vector<bool> active(dim, true);
-  std::vector<double> c(dim, 0.0);
-  for (;;) {
-    std::vector<std::size_t> cols;
-    for (std::size_t i = 0; i < dim; ++i) {
-      if (active[i]) cols.push_back(i);
-    }
-    std::vector<std::vector<double>> ata(cols.size(),
-                                         std::vector<double>(cols.size()));
-    std::vector<double> atb(cols.size(), 0.0);
-    for (std::size_t s = 0; s < features.size(); ++s) {
-      for (std::size_t i = 0; i < cols.size(); ++i) {
-        atb[i] += features[s][cols[i]] * measured[s];
-        for (std::size_t j = 0; j < cols.size(); ++j) {
-          ata[i][j] += features[s][cols[i]] * features[s][cols[j]];
-        }
-      }
-    }
-    const std::vector<double> sol = solve_normal_equations(ata, atb);
-    std::size_t worst = cols.size();
-    for (std::size_t i = 0; i < cols.size(); ++i) {
-      if (sol[i] < 0.0 &&
-          (worst == cols.size() || sol[i] < sol[worst])) {
-        worst = i;
-      }
-    }
-    if (worst == cols.size()) {
-      std::fill(c.begin(), c.end(), 0.0);
-      for (std::size_t i = 0; i < cols.size(); ++i) c[cols[i]] = sol[i];
-      break;
-    }
-    std::cout << "  (dropping non-resolvable feature " << cols[worst]
-              << " with negative weight " << sol[worst] << ")\n";
-    active[cols[worst]] = false;
+  const emc::linalg::LstsqResult fit = emc::linalg::nnls(features, measured);
+  const std::vector<double>& c = fit.coefficients;
+  for (const std::size_t dropped : fit.dropped) {
+    std::cout << "  (dropped non-resolvable feature " << dropped << ")\n";
   }
 
   const double unit = c[4];  // seconds per prim-quartet-function unit

@@ -1,0 +1,161 @@
+#include "linalg/lstsq.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace emc::linalg {
+
+namespace {
+
+/// Solves the dense system a x = b by Gaussian elimination with partial
+/// pivoting. Returns false when a pivot falls under `pivot_floor`
+/// (numerical rank deficiency); `*bad_col` then names the offending
+/// column so the caller can drop it and refit.
+bool solve_dense(std::vector<std::vector<double>> a, std::vector<double> b,
+                 double pivot_floor, std::vector<double>* x,
+                 std::size_t* bad_col) {
+  const std::size_t n = b.size();
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t piv = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a[r][col]) > std::abs(a[piv][col])) piv = r;
+    }
+    if (std::abs(a[piv][col]) <= pivot_floor) {
+      *bad_col = col;
+      return false;
+    }
+    std::swap(a[col], a[piv]);
+    std::swap(b[col], b[piv]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a[r][col] / a[col][col];
+      for (std::size_t c = col; c < n; ++c) a[r][c] -= f * a[col][c];
+      b[r] -= f * b[col];
+    }
+  }
+  x->assign(n, 0.0);
+  for (std::size_t r = n; r-- > 0;) {
+    double s = b[r];
+    for (std::size_t c = r + 1; c < n; ++c) s -= a[r][c] * (*x)[c];
+    (*x)[r] = s / a[r][r];
+  }
+  return true;
+}
+
+void check_shape(const std::vector<std::vector<double>>& rows,
+                 const std::vector<double>& targets) {
+  if (rows.empty()) throw std::invalid_argument("lstsq: no samples");
+  if (rows.size() != targets.size()) {
+    throw std::invalid_argument("lstsq: rows/targets size mismatch");
+  }
+  const std::size_t dim = rows.front().size();
+  if (dim == 0) throw std::invalid_argument("lstsq: zero-width design");
+  for (const auto& row : rows) {
+    if (row.size() != dim) {
+      throw std::invalid_argument("lstsq: ragged design matrix");
+    }
+  }
+}
+
+double residual_norm(const std::vector<std::vector<double>>& rows,
+                     const std::vector<double>& targets,
+                     const std::vector<double>& coef) {
+  double ss = 0.0;
+  for (std::size_t s = 0; s < rows.size(); ++s) {
+    double pred = 0.0;
+    for (std::size_t i = 0; i < coef.size(); ++i) {
+      pred += rows[s][i] * coef[i];
+    }
+    const double r = targets[s] - pred;
+    ss += r * r;
+  }
+  return std::sqrt(ss);
+}
+
+/// Shared active-set loop. Columns leave the active set when their
+/// normal-equations pivot degenerates; under `non_negative` additionally
+/// when their solved coefficient is the most negative one. Terminates:
+/// every iteration either finishes or shrinks the active set.
+LstsqResult active_set_fit(const std::vector<std::vector<double>>& rows,
+                           const std::vector<double>& targets,
+                           const LstsqOptions& options, bool non_negative) {
+  check_shape(rows, targets);
+  const std::size_t dim = rows.front().size();
+
+  std::vector<bool> active(dim, true);
+  LstsqResult result;
+  result.coefficients.assign(dim, 0.0);
+
+  for (;;) {
+    std::vector<std::size_t> cols;
+    for (std::size_t i = 0; i < dim; ++i) {
+      if (active[i]) cols.push_back(i);
+    }
+    if (cols.empty()) break;  // everything degenerate: all-zero fit
+
+    std::vector<std::vector<double>> ata(cols.size(),
+                                         std::vector<double>(cols.size()));
+    std::vector<double> atb(cols.size(), 0.0);
+    for (std::size_t s = 0; s < rows.size(); ++s) {
+      for (std::size_t i = 0; i < cols.size(); ++i) {
+        atb[i] += rows[s][cols[i]] * targets[s];
+        for (std::size_t j = 0; j < cols.size(); ++j) {
+          ata[i][j] += rows[s][cols[i]] * rows[s][cols[j]];
+        }
+      }
+    }
+    double scale = 0.0;
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      scale = std::max(scale, std::abs(ata[i][i]));
+    }
+
+    std::vector<double> sol;
+    std::size_t bad = 0;
+    if (!solve_dense(std::move(ata), std::move(atb),
+                     options.pivot_tol * scale, &sol, &bad)) {
+      // Elimination processes columns left to right, so `bad` is the
+      // first column the earlier ones fully explain (or an all-zero
+      // one). Drop it and refit on the survivors.
+      result.dropped.push_back(cols[bad]);
+      active[cols[bad]] = false;
+      continue;
+    }
+
+    std::size_t worst = cols.size();
+    if (non_negative) {
+      for (std::size_t i = 0; i < cols.size(); ++i) {
+        if (sol[i] < 0.0 && (worst == cols.size() || sol[i] < sol[worst])) {
+          worst = i;
+        }
+      }
+    }
+    if (worst == cols.size()) {
+      for (std::size_t i = 0; i < cols.size(); ++i) {
+        result.coefficients[cols[i]] = sol[i];
+      }
+      break;
+    }
+    result.dropped.push_back(cols[worst]);
+    active[cols[worst]] = false;
+  }
+
+  std::sort(result.dropped.begin(), result.dropped.end());
+  result.residual_norm = residual_norm(rows, targets, result.coefficients);
+  return result;
+}
+
+}  // namespace
+
+LstsqResult lstsq(const std::vector<std::vector<double>>& rows,
+                  const std::vector<double>& targets,
+                  const LstsqOptions& options) {
+  return active_set_fit(rows, targets, options, /*non_negative=*/false);
+}
+
+LstsqResult nnls(const std::vector<std::vector<double>>& rows,
+                 const std::vector<double>& targets,
+                 const LstsqOptions& options) {
+  return active_set_fit(rows, targets, options, /*non_negative=*/true);
+}
+
+}  // namespace emc::linalg

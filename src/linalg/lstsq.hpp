@@ -1,0 +1,57 @@
+#pragma once
+
+// Least-squares fitting on tall design matrices: the plain normal-
+// equations solve and the non-negative variant (NNLS) by active-set
+// elimination. Hoisted out of bench_kernel --calibrate so every fitter
+// in the tree — the task-cost calibration and the perfmodel layer's
+// PMNF term fits — goes through one implementation with one set of
+// degenerate-case rules:
+//
+//  - a numerically rank-deficient pivot (|pivot| <= pivot_tol * scale)
+//    drops that column from the active set and refits, so duplicated or
+//    all-zero predictor columns yield coefficient 0 instead of NaN;
+//  - NNLS drops the most-negative coefficient's column and refits until
+//    every survivor is non-negative (plain clamping would strand the
+//    redistributed weight of a collinear feature in the intercept).
+//
+// Inputs are samples-by-features rows; both solvers are deterministic:
+// identical inputs give bitwise-identical coefficients.
+
+#include <cstddef>
+#include <vector>
+
+namespace emc::linalg {
+
+struct LstsqOptions {
+  /// A pivot whose magnitude is <= pivot_tol * (largest diagonal of
+  /// AᵀA) is treated as rank deficiency, not as a divisor.
+  double pivot_tol = 1e-12;
+};
+
+struct LstsqResult {
+  /// One coefficient per design column; dropped columns hold 0.
+  std::vector<double> coefficients;
+  /// Columns eliminated for rank deficiency (both solvers) or driven
+  /// negative (NNLS only).
+  std::vector<std::size_t> dropped;
+  /// sqrt(sum of squared residuals) over the fitted samples.
+  double residual_norm = 0.0;
+};
+
+/// Ordinary least squares min ||A x - b|| via the normal equations
+/// (AᵀA x = Aᵀb, Gaussian elimination with partial pivoting). `rows`
+/// holds one sample per entry; every row must have the same length.
+/// Throws std::invalid_argument on empty or ragged input.
+LstsqResult lstsq(const std::vector<std::vector<double>>& rows,
+                  const std::vector<double>& targets,
+                  const LstsqOptions& options = {});
+
+/// Non-negative least squares: lstsq() under x >= 0, by active-set
+/// elimination — solve, drop the most-negative coefficient's column,
+/// refit until all survivors are non-negative. Same input contract as
+/// lstsq().
+LstsqResult nnls(const std::vector<std::vector<double>>& rows,
+                 const std::vector<double>& targets,
+                 const LstsqOptions& options = {});
+
+}  // namespace emc::linalg

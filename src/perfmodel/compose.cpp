@@ -1,0 +1,88 @@
+#include "perfmodel/compose.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace emc::perfmodel {
+
+ComposedModel ComposedModel::leaf(FittedModel model, std::string label) {
+  ComposedModel node;
+  node.kind_ = Kind::kLeaf;
+  node.label_ = std::move(label);
+  node.model_ = std::move(model);
+  return node;
+}
+
+ComposedModel ComposedModel::serial(std::vector<ComposedModel> parts,
+                                    std::string label) {
+  if (parts.empty()) {
+    throw std::invalid_argument("ComposedModel::serial: no parts");
+  }
+  ComposedModel node;
+  node.kind_ = Kind::kSerial;
+  node.label_ = std::move(label);
+  node.parts_ = std::move(parts);
+  return node;
+}
+
+ComposedModel ComposedModel::parallel(std::vector<ComposedModel> parts,
+                                      std::string label) {
+  if (parts.empty()) {
+    throw std::invalid_argument("ComposedModel::parallel: no parts");
+  }
+  ComposedModel node;
+  node.kind_ = Kind::kParallel;
+  node.label_ = std::move(label);
+  node.parts_ = std::move(parts);
+  return node;
+}
+
+double ComposedModel::evaluate(const Point& point) const {
+  switch (kind_) {
+    case Kind::kLeaf:
+      return model_.evaluate(point);
+    case Kind::kSerial: {
+      double sum = 0.0;
+      for (const ComposedModel& part : parts_) {
+        sum += part.evaluate(point);
+      }
+      return sum;
+    }
+    case Kind::kParallel: {
+      double best = parts_.front().evaluate(point);
+      for (std::size_t i = 1; i < parts_.size(); ++i) {
+        best = std::max(best, parts_[i].evaluate(point));
+      }
+      return best;
+    }
+  }
+  return 0.0;
+}
+
+const FittedModel& ComposedModel::fitted() const {
+  if (kind_ != Kind::kLeaf) {
+    throw std::logic_error("ComposedModel::fitted on a non-leaf node");
+  }
+  return model_;
+}
+
+std::string ComposedModel::describe(int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  switch (kind_) {
+    case Kind::kLeaf:
+      return pad + "leaf " + label_ + ": " + model_.to_string() + "\n";
+    case Kind::kSerial:
+    case Kind::kParallel: {
+      std::string out = pad +
+                        (kind_ == Kind::kSerial ? "serial " : "parallel ") +
+                        label_ + "\n";
+      for (const ComposedModel& part : parts_) {
+        out += part.describe(indent + 1);
+      }
+      return out;
+    }
+  }
+  return "";
+}
+
+}  // namespace emc::perfmodel

@@ -1,0 +1,64 @@
+#pragma once
+
+// Composition algebra for fitted performance models, after Czappa et
+// al.'s CompositionalPerformanceAnalyzer: instead of one opaque fit of
+// the end-to-end makespan, each parallel pattern in the program gets
+// its own small fitted model and the models combine along the program
+// structure —
+//
+//   serial(a, b, ...)    phases that follow each other: sum
+//   parallel(a, b, ...)  phases that overlap completely: max
+//   leaf(fitted model)   one measured pattern (compute span, protocol
+//                        overhead, link contention)
+//
+// The simulator's execution models decompose naturally this way:
+// makespan ~ serial(compute span, scheduling-protocol overhead,
+// network contention). The benefit over a monolithic fit is that each
+// sub-model sees a signal with one dominant shape (the protocol term
+// of a shared counter is near-linear in P; the compute span is nearly
+// flat under weak scaling), which small PMNF bases capture and
+// extrapolate far better than their sum.
+
+#include <string>
+#include <vector>
+
+#include "perfmodel/fit.hpp"
+
+namespace emc::perfmodel {
+
+/// An immutable composition tree over fitted models.
+class ComposedModel {
+ public:
+  enum class Kind { kLeaf, kSerial, kParallel };
+
+  static ComposedModel leaf(FittedModel model, std::string label);
+  /// Sum of the parts. Throws std::invalid_argument when empty.
+  static ComposedModel serial(std::vector<ComposedModel> parts,
+                              std::string label);
+  /// Max of the parts. Throws std::invalid_argument when empty.
+  static ComposedModel parallel(std::vector<ComposedModel> parts,
+                                std::string label);
+
+  double evaluate(const Point& point) const;
+
+  Kind kind() const { return kind_; }
+  const std::string& label() const { return label_; }
+  const std::vector<ComposedModel>& parts() const { return parts_; }
+  /// Leaf-only: the fitted model. Throws std::logic_error otherwise.
+  const FittedModel& fitted() const;
+
+  /// Indented one-line-per-node description:
+  ///   serial makespan
+  ///     leaf compute: 1.6e-04 + ...
+  std::string describe(int indent = 0) const;
+
+ private:
+  ComposedModel() = default;
+
+  Kind kind_ = Kind::kLeaf;
+  std::string label_;
+  FittedModel model_;             ///< kLeaf only
+  std::vector<ComposedModel> parts_;  ///< kSerial / kParallel
+};
+
+}  // namespace emc::perfmodel

@@ -1,0 +1,191 @@
+#include "perfmodel/fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/lstsq.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace emc::perfmodel {
+
+namespace {
+
+/// Relative-error floor: keeps a measured 0 (e.g. a zero network term
+/// on an uncontended topology) from turning every prediction into an
+/// infinite error.
+constexpr double kErrorFloor = 1e-12;
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+double relative_error(double predicted, double actual) {
+  return std::abs(predicted - actual) /
+         std::max(std::abs(actual), kErrorFloor);
+}
+
+std::vector<std::vector<double>> design_matrix(
+    const std::vector<Term>& terms, const std::vector<Sample>& samples) {
+  std::vector<std::vector<double>> rows;
+  rows.reserve(samples.size());
+  for (const Sample& s : samples) {
+    std::vector<double> row;
+    row.reserve(terms.size());
+    for (const Term& t : terms) row.push_back(t.evaluate(s.predictors));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<double> fit_coefficients(const std::vector<Term>& terms,
+                                     const std::vector<Sample>& samples,
+                                     bool non_negative) {
+  const std::vector<std::vector<double>> rows =
+      design_matrix(terms, samples);
+  std::vector<double> targets;
+  targets.reserve(samples.size());
+  for (const Sample& s : samples) targets.push_back(s.value);
+  const linalg::LstsqResult result =
+      non_negative ? linalg::nnls(rows, targets)
+                   : linalg::lstsq(rows, targets);
+  return result.coefficients;
+}
+
+/// Median held-out |relative error| of `terms` under the stateless
+/// k-fold split, pooled across folds. Folds that would leave the
+/// training side empty are skipped; if every fold degenerates the
+/// training error of the full fit is returned (tiny-sample fallback).
+double cross_validation_error(const std::vector<Term>& terms,
+                              const std::vector<Sample>& samples,
+                              const FitOptions& options) {
+  std::vector<int> fold_of(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    fold_of[i] = cv_fold(options.seed, samples[i].key, options.cv_folds);
+  }
+  std::vector<double> errors;
+  for (int fold = 0; fold < options.cv_folds; ++fold) {
+    std::vector<Sample> train, test;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      (fold_of[i] == fold ? test : train).push_back(samples[i]);
+    }
+    if (test.empty() || train.empty()) continue;
+    const std::vector<double> coef =
+        fit_coefficients(terms, train, options.non_negative);
+    FittedModel fold_model{terms, coef, 0.0, 0.0};
+    for (const Sample& s : test) {
+      errors.push_back(
+          relative_error(fold_model.evaluate(s.predictors), s.value));
+    }
+  }
+  if (errors.empty()) {
+    const FittedModel full = fit_terms(terms, samples, options.non_negative);
+    return full.train_error;
+  }
+  return median(errors);
+}
+
+}  // namespace
+
+double FittedModel::evaluate(const Point& point) const {
+  double value = 0.0;
+  for (std::size_t i = 0; i < terms.size(); ++i) {
+    if (coefficients[i] != 0.0) {
+      value += coefficients[i] * terms[i].evaluate(point);
+    }
+  }
+  return value;
+}
+
+std::string FittedModel::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < terms.size(); ++i) {
+    if (coefficients[i] == 0.0) continue;
+    if (!out.empty()) out += " + ";
+    out += util::format_double(coefficients[i]);
+    if (!terms[i].is_constant()) out += "*" + terms[i].name();
+  }
+  return out.empty() ? "0" : out;
+}
+
+int cv_fold(std::uint64_t seed, const std::string& key, int folds) {
+  if (folds < 1) throw std::invalid_argument("cv_fold: folds < 1");
+  std::uint64_t state = seed ^ fnv1a(key);
+  return static_cast<int>(splitmix64(state) %
+                          static_cast<std::uint64_t>(folds));
+}
+
+double median_relative_error(const FittedModel& model,
+                             const std::vector<Sample>& samples) {
+  std::vector<double> errors;
+  errors.reserve(samples.size());
+  for (const Sample& s : samples) {
+    errors.push_back(relative_error(model.evaluate(s.predictors), s.value));
+  }
+  return median(std::move(errors));
+}
+
+FittedModel fit_terms(const std::vector<Term>& terms,
+                      const std::vector<Sample>& samples,
+                      bool non_negative) {
+  if (samples.empty()) throw std::invalid_argument("fit_terms: no samples");
+  if (terms.empty()) throw std::invalid_argument("fit_terms: no terms");
+  FittedModel model;
+  model.terms = terms;
+  model.coefficients = fit_coefficients(terms, samples, non_negative);
+  model.train_error = median_relative_error(model, samples);
+  return model;
+}
+
+FittedModel fit_model(const std::vector<Term>& candidates,
+                      const std::vector<Sample>& samples,
+                      const FitOptions& options) {
+  if (samples.empty()) throw std::invalid_argument("fit_model: no samples");
+
+  std::vector<Term> selected{Term{}};  // the constant term, always
+  double current_cv = cross_validation_error(selected, samples, options);
+
+  std::vector<bool> used(candidates.size(), false);
+  while (selected.size() - 1 < options.max_terms) {
+    std::size_t best = candidates.size();
+    double best_cv = current_cv;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (used[i]) continue;
+      std::vector<Term> trial = selected;
+      trial.push_back(candidates[i]);
+      const double cv = cross_validation_error(trial, samples, options);
+      // Strict < keeps ties on the earliest candidate: deterministic
+      // selection for a deterministic candidate order.
+      if (cv < best_cv) {
+        best_cv = cv;
+        best = i;
+      }
+    }
+    if (best == candidates.size()) break;
+    const bool improves =
+        best_cv < current_cv * (1.0 - options.min_improvement);
+    if (!improves) break;
+    used[best] = true;
+    selected.push_back(candidates[best]);
+    current_cv = best_cv;
+  }
+
+  FittedModel model = fit_terms(selected, samples, options.non_negative);
+  model.cv_error = current_cv;
+  return model;
+}
+
+}  // namespace emc::perfmodel

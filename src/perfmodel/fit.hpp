@@ -1,0 +1,89 @@
+#pragma once
+
+// Fitting PMNF term models to measured sweep samples: non-negative
+// least squares over a chosen term set (via the shared
+// linalg/lstsq.hpp solver), plus cross-validation-driven greedy term
+// selection so the model that ships is the one that predicts held-out
+// points, not the one that interpolates the training set best.
+//
+// Everything here is deterministic: the k-fold split assigns each
+// sample to a fold by a stateless splitmix64 hash of (seed, sample
+// key) — the PR 3 fault-replay convention — so the split, the selected
+// terms, and the fitted coefficients are bitwise reproducible across
+// runs and platforms for identical inputs, regardless of sample count
+// or evaluation order.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "perfmodel/term_basis.hpp"
+
+namespace emc::perfmodel {
+
+/// One training observation: a predictor point, the measured value, and
+/// a stable identity key ("model=ws,procs=256,...") that names the
+/// sample across runs — the cross-validation split hashes this key, so
+/// fold membership survives reordering and re-ingestion.
+struct Sample {
+  Point predictors;
+  double value = 0.0;
+  std::string key;
+};
+
+struct FitOptions {
+  /// Salt of the stateless fold hash.
+  std::uint64_t seed = 1;
+  int cv_folds = 4;
+  /// A candidate term joins the model only when it shrinks the CV error
+  /// to below (1 - min_improvement) of the current one; anything less
+  /// is treated as noise-chasing and selection stops.
+  double min_improvement = 0.02;
+  /// Terms beyond the always-present constant.
+  std::size_t max_terms = 3;
+  /// Fit under coefficient >= 0 (NNLS). Performance terms are costs;
+  /// a negative coefficient is almost always a collinearity artifact.
+  bool non_negative = true;
+};
+
+/// A fitted model: sum of coefficient * term.
+struct FittedModel {
+  std::vector<Term> terms;
+  std::vector<double> coefficients;
+  /// Median |relative error| over the training samples.
+  double train_error = 0.0;
+  /// Median |relative error| over pooled held-out CV predictions of the
+  /// selected term set (0 when CV was not run, e.g. fit_terms).
+  double cv_error = 0.0;
+
+  double evaluate(const Point& point) const;
+  /// "3.2e-06 + 1.1e-07*procs^1*log2(procs)^1" (coefficient-0 terms
+  /// elided; "0" for the all-zero model).
+  std::string to_string() const;
+};
+
+/// Fold of `key` in [0, folds): splitmix64(seed ^ fnv1a(key)) % folds.
+/// Stateless and platform-independent; pinned by a regression test.
+int cv_fold(std::uint64_t seed, const std::string& key, int folds);
+
+/// Median of |prediction - value| / max(|value|, epsilon) over
+/// `samples`; 0 for an empty span.
+double median_relative_error(const FittedModel& model,
+                             const std::vector<Sample>& samples);
+
+/// Plain fit of exactly `terms` (no selection). Throws
+/// std::invalid_argument when samples are empty.
+FittedModel fit_terms(const std::vector<Term>& terms,
+                      const std::vector<Sample>& samples,
+                      bool non_negative = true);
+
+/// Greedy forward selection from `candidates` on top of the constant
+/// term: the candidate that most reduces the k-fold CV error joins the
+/// model, until no candidate clears min_improvement or max_terms is
+/// reached; the returned model is refit on all samples. Deterministic:
+/// ties resolve to the earliest candidate in the given order.
+FittedModel fit_model(const std::vector<Term>& candidates,
+                      const std::vector<Sample>& samples,
+                      const FitOptions& options = {});
+
+}  // namespace emc::perfmodel

@@ -1,0 +1,126 @@
+#include "perfmodel/sweep_ingest.hpp"
+
+#include <set>
+#include <stdexcept>
+
+#include "util/report_cells.hpp"
+
+namespace emc::perfmodel {
+
+std::string SweepCell::identity() const {
+  std::string key;
+  for (const std::string& id : util::cell_identity_keys()) {
+    std::string rendered;
+    if (const auto it = labels.find(id); it != labels.end()) {
+      rendered = it->second;
+    } else if (const auto vt = values.find(id); vt != values.end()) {
+      rendered = util::format_double(vt->second);
+    } else {
+      continue;
+    }
+    if (!key.empty()) key += ",";
+    key += id + "=" + rendered;
+  }
+  return key;
+}
+
+bool SweepCell::matches(
+    const std::map<std::string, std::string>& filter) const {
+  for (const auto& [key, value] : filter) {
+    const auto it = labels.find(key);
+    if (it == labels.end() || it->second != value) return false;
+  }
+  return true;
+}
+
+Sweep load_sweep(const util::JsonValue& doc,
+                 const std::string& array_path) {
+  using util::JsonValue;
+
+  const JsonValue* node = &doc;
+  std::size_t start = 0;
+  while (start <= array_path.size()) {
+    const std::size_t dot = array_path.find('.', start);
+    const std::string part =
+        array_path.substr(start, dot == std::string::npos
+                                     ? std::string::npos
+                                     : dot - start);
+    if (!node->has(part)) {
+      throw std::runtime_error("load_sweep: no \"" + part +
+                               "\" in report (path " + array_path + ")");
+    }
+    node = &node->object.at(part);
+    if (dot == std::string::npos) break;
+    start = dot + 1;
+  }
+  if (node->kind != JsonValue::Kind::kArray) {
+    throw std::runtime_error("load_sweep: \"" + array_path +
+                             "\" is not an array");
+  }
+
+  Sweep sweep;
+  std::set<std::string> seen;
+  for (const JsonValue& element : node->array) {
+    if (element.kind != JsonValue::Kind::kObject) {
+      throw std::runtime_error("load_sweep: \"" + array_path +
+                               "\" holds a non-object cell");
+    }
+    SweepCell cell;
+    for (const auto& [key, value] : element.object) {
+      if (value.kind == JsonValue::Kind::kString) {
+        cell.labels[key] = value.str;
+      } else if (value.kind == JsonValue::Kind::kNumber) {
+        cell.values[key] = value.number;
+      } else if (value.kind == JsonValue::Kind::kBool) {
+        cell.values[key] = value.boolean ? 1.0 : 0.0;
+      }
+      // Nested arrays/objects/nulls carry no sweep data: skipped.
+    }
+    const std::string id = cell.identity();
+    if (id.empty()) {
+      throw std::runtime_error("load_sweep: cell without identity in \"" +
+                               array_path + "\"");
+    }
+    if (!seen.insert(id).second) {
+      throw std::runtime_error("load_sweep: duplicate cell identity \"" +
+                               id + "\" in \"" + array_path + "\"");
+    }
+    sweep.cells.push_back(std::move(cell));
+  }
+  return sweep;
+}
+
+Sweep load_sweep_text(const std::string& report_text,
+                      const std::string& array_path) {
+  return load_sweep(util::parse_json(report_text), array_path);
+}
+
+std::vector<Sample> to_samples(
+    const Sweep& sweep, const std::map<std::string, std::string>& labels,
+    const std::vector<std::string>& predictor_keys,
+    const std::string& target_key) {
+  std::vector<Sample> samples;
+  for (const SweepCell& cell : sweep.cells) {
+    if (!cell.matches(labels)) continue;
+    Sample sample;
+    sample.key = cell.identity();
+    for (const std::string& predictor : predictor_keys) {
+      const auto it = cell.values.find(predictor);
+      if (it == cell.values.end()) {
+        throw std::runtime_error("to_samples: cell " + sample.key +
+                                 " lacks predictor \"" + predictor + "\"");
+      }
+      sample.predictors[predictor] = it->second;
+    }
+    const auto target = cell.values.find(target_key);
+    if (target == cell.values.end()) {
+      throw std::runtime_error("to_samples: cell " + sample.key +
+                               " lacks target \"" + target_key + "\"");
+    }
+    sample.value = target->second;
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+}  // namespace emc::perfmodel

@@ -1,0 +1,63 @@
+#pragma once
+
+// Training-sweep ingestion: turns a manifest-stamped BENCH_*.json
+// report (parsed with the strict util/json parser) into identity-keyed
+// numeric cells and fit-ready samples. This is the layer that lets the
+// performance-model fits consume the bench pipeline's *outputs* as
+// *inputs*: the same identity convention bench_compare uses to match
+// cells across runs (util/report_cells.hpp) names each training sample
+// here, so a sweep survives JSON round trips, array reordering, and
+// re-ingestion with its sample identities — and hence the stateless
+// cross-validation split (fit.hpp) — intact.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "perfmodel/fit.hpp"
+#include "util/json.hpp"
+
+namespace emc::perfmodel {
+
+/// One sweep cell: the string-valued fields (model, topology, role, ...)
+/// and the numeric fields (procs, makespan_s, ...) of one array object.
+struct SweepCell {
+  std::map<std::string, std::string> labels;
+  std::map<std::string, double> values;
+
+  /// Identity address in bench_compare's convention — identity fields
+  /// in priority order, numbers rendered round-trip exact. "" when the
+  /// cell carries no identity field.
+  std::string identity() const;
+
+  /// True when every (key, value) pair in `filter` matches a label.
+  bool matches(const std::map<std::string, std::string>& filter) const;
+};
+
+struct Sweep {
+  std::vector<SweepCell> cells;
+};
+
+/// Extracts the array at dot-path `array_path` (e.g. "sweep" or
+/// "results.cells") from a parsed report as cells, preserving array
+/// order. Throws std::runtime_error when the path is missing, is not an
+/// array of objects, or any cell lacks a unique identity — an unkeyed
+/// sweep cannot name its samples and would silently scramble the CV
+/// split.
+Sweep load_sweep(const util::JsonValue& doc, const std::string& array_path);
+
+/// Convenience: parse_json + load_sweep over a whole report text.
+Sweep load_sweep_text(const std::string& report_text,
+                      const std::string& array_path);
+
+/// Converts the cells matching `labels` into samples, in cell order:
+/// predictors are drawn from `predictor_keys` and the target from
+/// `target_key` (both must be numeric fields of every matching cell —
+/// throws std::runtime_error otherwise); each sample's key is the
+/// cell's identity.
+std::vector<Sample> to_samples(const Sweep& sweep,
+                               const std::map<std::string, std::string>& labels,
+                               const std::vector<std::string>& predictor_keys,
+                               const std::string& target_key);
+
+}  // namespace emc::perfmodel

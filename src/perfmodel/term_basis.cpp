@@ -1,0 +1,92 @@
+#include "perfmodel/term_basis.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace emc::perfmodel {
+
+namespace {
+
+/// Renders an exponent compactly: "2" not "2.000000", "0.5" as is.
+std::string exponent_string(double e) {
+  std::ostringstream out;
+  out << e;
+  return out.str();
+}
+
+std::string term_name(const std::vector<Factor>& factors) {
+  if (factors.empty()) return "1";
+  std::string name;
+  for (const Factor& f : factors) {
+    if (f.exponent != 0.0) {
+      if (!name.empty()) name += "*";
+      name += f.predictor + "^" + exponent_string(f.exponent);
+    }
+    if (f.log_exponent != 0) {
+      if (!name.empty()) name += "*";
+      name += "log2(" + f.predictor + ")^" +
+              std::to_string(f.log_exponent);
+    }
+  }
+  return name.empty() ? "1" : name;
+}
+
+}  // namespace
+
+Term::Term(std::vector<Factor> factors) : factors_(std::move(factors)) {
+  name_ = term_name(factors_);
+}
+
+double Term::evaluate(const Point& point) const {
+  double value = 1.0;
+  for (const Factor& f : factors_) {
+    const auto it = point.find(f.predictor);
+    if (it == point.end()) {
+      throw std::invalid_argument("term " + name_ +
+                                  ": predictor missing from point: " +
+                                  f.predictor);
+    }
+    const double x = it->second;
+    if (f.exponent != 0.0) value *= std::pow(x, f.exponent);
+    if (f.log_exponent != 0) {
+      value *= std::pow(std::log2(x), f.log_exponent);
+    }
+  }
+  if (!std::isfinite(value)) {
+    throw std::domain_error("term " + name_ +
+                            " evaluates non-finite at the given point");
+  }
+  return value;
+}
+
+Term Term::operator*(const Term& other) const {
+  std::vector<Factor> product = factors_;
+  product.insert(product.end(), other.factors_.begin(),
+                 other.factors_.end());
+  return Term(std::move(product));
+}
+
+std::vector<Term> predictor_terms(const std::string& predictor,
+                                  const BasisOptions& options) {
+  std::vector<Term> terms;
+  for (const double a : options.exponents) {
+    for (const int b : options.log_exponents) {
+      if (a == 0.0 && b == 0) continue;
+      terms.push_back(Term({Factor{predictor, a, b}}));
+    }
+  }
+  return terms;
+}
+
+std::vector<Term> cross_terms(const std::vector<Term>& a,
+                              const std::vector<Term>& b) {
+  std::vector<Term> products;
+  products.reserve(a.size() * b.size());
+  for (const Term& x : a) {
+    for (const Term& y : b) products.push_back(x * y);
+  }
+  return products;
+}
+
+}  // namespace emc::perfmodel

@@ -1,0 +1,83 @@
+#pragma once
+
+// PMNF-style model terms for the analytic performance-model layer.
+//
+// Following Extra-P's performance-model normal form, a model is a
+// non-negative linear combination of terms, each term a product of
+// per-predictor factors x^a * log2(x)^b. Predictors are named — "procs"
+// (P), "tasks", "intensity" (task-cost heterogeneity or fault
+// intensity) — so one basis machinery serves every sub-model the
+// compositional layer fits (compute span, protocol overhead, link
+// contention). The hypothesis grids are deliberately small: the point
+// of PMNF is that real scaling behaviour lives in a handful of
+// (polynomial x polylog) shapes, and a small grid is what makes
+// cross-validation-driven selection (fit.hpp) meaningful instead of an
+// overfitting contest.
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace emc::perfmodel {
+
+/// One point in predictor space, e.g. {"procs": 1024, "intensity": 1.9}.
+using Point = std::map<std::string, double>;
+
+/// One factor x^exponent * log2(x)^log_exponent over a named predictor.
+struct Factor {
+  std::string predictor;
+  double exponent = 0.0;
+  int log_exponent = 0;
+};
+
+/// A coefficient-free product of factors; the empty product is the
+/// constant term 1.
+class Term {
+ public:
+  Term() = default;
+  explicit Term(std::vector<Factor> factors);
+
+  /// Value of the term at `point`. Throws std::invalid_argument when a
+  /// factor's predictor is missing from the point and std::domain_error
+  /// when the result is non-finite (e.g. log2 of a non-positive
+  /// predictor value).
+  double evaluate(const Point& point) const;
+
+  /// Human- and report-readable name: "1" for the constant term, else
+  /// e.g. "procs^0.5*log2(procs)^2*intensity^1".
+  const std::string& name() const { return name_; }
+
+  bool is_constant() const { return factors_.empty(); }
+  const std::vector<Factor>& factors() const { return factors_; }
+
+  /// The product of two terms (factor lists concatenate).
+  Term operator*(const Term& other) const;
+
+  bool operator==(const Term& other) const { return name_ == other.name_; }
+
+ private:
+  std::vector<Factor> factors_;
+  std::string name_ = "1";
+};
+
+/// Hypothesis grid for one predictor's factors.
+struct BasisOptions {
+  /// Polynomial exponents a in x^a. 0 combines with a nonzero log
+  /// exponent into pure-log terms; the (0, 0) combination is skipped.
+  std::vector<double> exponents{0.0, 0.5, 1.0, 1.5, 2.0};
+  /// Exponents b in log2(x)^b.
+  std::vector<int> log_exponents{0, 1, 2};
+};
+
+/// All single-predictor candidate terms of the grid for `predictor`
+/// (every (a, b) combination except (0, 0)), in grid order — callers
+/// rely on the order being deterministic for reproducible selection.
+std::vector<Term> predictor_terms(const std::string& predictor,
+                                  const BasisOptions& options = {});
+
+/// Pairwise products a_i * b_j (cross-predictor interaction terms), in
+/// lexicographic (i, j) order.
+std::vector<Term> cross_terms(const std::vector<Term>& a,
+                              const std::vector<Term>& b);
+
+}  // namespace emc::perfmodel

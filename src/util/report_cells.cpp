@@ -1,0 +1,35 @@
+#include "util/report_cells.hpp"
+
+namespace emc::util {
+
+const std::vector<std::string>& cell_identity_keys() {
+  static const std::vector<std::string> keys{
+      "model",     "class",  "topology", "molecule",  "workload",
+      "name",      "case",   "kind",     "scheduler", "intensity",
+      "component", "role",   "procs",    "tasks",     "thief",
+      "victim",    "oversubscription",
+  };
+  return keys;
+}
+
+std::string cell_identity(const JsonValue& cell) {
+  if (cell.kind != JsonValue::Kind::kObject) return "";
+  std::string key;
+  for (const std::string& id : cell_identity_keys()) {
+    if (!cell.has(id)) continue;
+    const JsonValue& v = cell.object.at(id);
+    std::string rendered;
+    if (v.kind == JsonValue::Kind::kString) {
+      rendered = v.str;
+    } else if (v.kind == JsonValue::Kind::kNumber) {
+      rendered = format_double(v.number);
+    } else {
+      continue;
+    }
+    if (!key.empty()) key += ",";
+    key += id + "=" + rendered;
+  }
+  return key;
+}
+
+}  // namespace emc::util

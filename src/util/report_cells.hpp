@@ -1,0 +1,34 @@
+#pragma once
+
+// Identity-keyed addressing of BENCH_*.json report cells, shared by
+// every consumer of the bench pipeline's artifacts: tools/bench_compare
+// (regression diffs) and src/perfmodel (training-sweep ingestion).
+//
+// A "cell" is one object inside an array-of-objects sweep (one (model,
+// procs, topology, ...) point). Cells are addressed by the
+// concatenation of the identity fields they carry — "model=ws,procs=256"
+// — so reordering or growing an array never changes a cell's address,
+// and two consumers looking at the same report agree on what each
+// number is. The identity-field list here is the single source of
+// truth; bench_compare's cell matching and perfmodel's sweep ingestion
+// both read it.
+
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace emc::util {
+
+/// Identity fields used to address array-of-object cells, in priority
+/// order. A field joins a cell's address only when present with a
+/// string or number value.
+const std::vector<std::string>& cell_identity_keys();
+
+/// The identity address of one cell ("model=ws,procs=256"), built from
+/// every identity field it carries, or "" when it carries none (or is
+/// not an object). Numbers are rendered through format_double, so the
+/// address survives a JSON round trip unchanged.
+std::string cell_identity(const JsonValue& cell);
+
+}  // namespace emc::util

@@ -1,0 +1,141 @@
+// Unit tests for the shared least-squares solvers (linalg/lstsq.hpp):
+// synthetic recovery, rank-deficient and zero columns, the NNLS
+// active-set elimination, and bitwise determinism.
+
+#include "linalg/lstsq.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using emc::linalg::lstsq;
+using emc::linalg::LstsqResult;
+using emc::linalg::nnls;
+
+// Small deterministic LCG so the synthetic matrices need no <random>.
+double next_uniform(std::uint64_t& state) {
+  state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+  return static_cast<double>(state >> 11) /
+         static_cast<double>(1ULL << 53);
+}
+
+std::vector<std::vector<double>> random_rows(std::size_t n, std::size_t k,
+                                             std::uint64_t seed) {
+  std::uint64_t state = seed;
+  std::vector<std::vector<double>> rows(n, std::vector<double>(k));
+  for (auto& row : rows) {
+    for (double& x : row) x = 0.5 + next_uniform(state);
+  }
+  return rows;
+}
+
+std::vector<double> matvec(const std::vector<std::vector<double>>& rows,
+                          const std::vector<double>& x) {
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) {
+    double dot = 0.0;
+    for (std::size_t j = 0; j < row.size(); ++j) dot += row[j] * x[j];
+    out.push_back(dot);
+  }
+  return out;
+}
+
+TEST(Lstsq, RecoversExactSolution) {
+  const auto rows = random_rows(24, 4, 7);
+  const std::vector<double> truth{1.5, -2.0, 0.25, 3.0};
+  const LstsqResult fit = lstsq(rows, matvec(rows, truth));
+  ASSERT_EQ(fit.coefficients.size(), truth.size());
+  for (std::size_t j = 0; j < truth.size(); ++j) {
+    EXPECT_NEAR(fit.coefficients[j], truth[j], 1e-9);
+  }
+  EXPECT_TRUE(fit.dropped.empty());
+  EXPECT_LT(fit.residual_norm, 1e-9);
+}
+
+TEST(Lstsq, NnlsRecoversNonNegativeSolution) {
+  const auto rows = random_rows(30, 5, 11);
+  const std::vector<double> truth{0.5, 0.0, 2.0, 1e-3, 4.0};
+  const LstsqResult fit = nnls(rows, matvec(rows, truth));
+  ASSERT_EQ(fit.coefficients.size(), truth.size());
+  for (std::size_t j = 0; j < truth.size(); ++j) {
+    EXPECT_NEAR(fit.coefficients[j], truth[j], 1e-8);
+  }
+}
+
+TEST(Lstsq, NnlsClampsNegativeComponentToZero) {
+  // The unconstrained optimum has a negative weight on column 1; NNLS
+  // must eliminate it, keep the survivors non-negative, and fit at
+  // least as well as forcing every column to zero.
+  const auto rows = random_rows(40, 3, 13);
+  const std::vector<double> truth{2.0, -0.2, 1.5};
+  const auto targets = matvec(rows, truth);
+  const LstsqResult fit = nnls(rows, targets);
+  ASSERT_EQ(fit.coefficients.size(), 3u);
+  EXPECT_EQ(fit.coefficients[1], 0.0);
+  ASSERT_EQ(fit.dropped.size(), 1u);
+  EXPECT_EQ(fit.dropped[0], 1u);
+  for (const double c : fit.coefficients) EXPECT_GE(c, 0.0);
+  EXPECT_GT(fit.residual_norm, 0.0);
+}
+
+TEST(Lstsq, DropsDuplicatedColumn) {
+  // Column 2 duplicates column 0: AᵀA is singular. One of the pair is
+  // dropped, its coefficient is exactly 0, and the fit still
+  // reproduces the targets (the weight lands on the survivor).
+  auto rows = random_rows(20, 2, 17);
+  for (auto& row : rows) row.push_back(row[0]);
+  const std::vector<double> truth{1.0, 2.0, 3.0};
+  const auto targets = matvec(rows, truth);
+  const LstsqResult fit = lstsq(rows, targets);
+  ASSERT_EQ(fit.dropped.size(), 1u);
+  EXPECT_EQ(fit.coefficients[fit.dropped[0]], 0.0);
+  const auto predicted = matvec(rows, fit.coefficients);
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    EXPECT_NEAR(predicted[i], targets[i], 1e-8);
+  }
+}
+
+TEST(Lstsq, DropsZeroColumn) {
+  auto rows = random_rows(16, 2, 19);
+  for (auto& row : rows) row.insert(row.begin() + 1, 0.0);
+  const std::vector<double> truth{1.25, 0.0, 0.75};
+  const LstsqResult fit = nnls(rows, matvec(rows, truth));
+  ASSERT_EQ(fit.dropped.size(), 1u);
+  EXPECT_EQ(fit.dropped[0], 1u);
+  EXPECT_EQ(fit.coefficients[1], 0.0);
+  EXPECT_NEAR(fit.coefficients[0], truth[0], 1e-9);
+  EXPECT_NEAR(fit.coefficients[2], truth[2], 1e-9);
+}
+
+TEST(Lstsq, DeterministicBitwise) {
+  const auto rows = random_rows(32, 4, 23);
+  std::uint64_t state = 29;
+  std::vector<double> targets;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    targets.push_back(next_uniform(state));
+  }
+  const LstsqResult a = nnls(rows, targets);
+  const LstsqResult b = nnls(rows, targets);
+  ASSERT_EQ(a.coefficients.size(), b.coefficients.size());
+  for (std::size_t j = 0; j < a.coefficients.size(); ++j) {
+    // Bitwise, not approximate: identical inputs, identical bits.
+    EXPECT_EQ(a.coefficients[j], b.coefficients[j]);
+  }
+  EXPECT_EQ(a.dropped, b.dropped);
+  EXPECT_EQ(a.residual_norm, b.residual_norm);
+}
+
+TEST(Lstsq, RejectsDegenerateInput) {
+  EXPECT_THROW(lstsq({}, {}), std::invalid_argument);
+  EXPECT_THROW(lstsq({{1.0, 2.0}}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(lstsq({{1.0, 2.0}, {1.0}}, {1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(nnls({{}, {}}, {1.0, 2.0}), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,346 @@
+// Tests for the analytic performance-model layer (src/perfmodel):
+// PMNF term basis, cross-validated fitting, the composition algebra,
+// the stateless CV split, sweep ingestion round trips, and a
+// differential gate against fresh simulator runs.
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lb/simple.hpp"
+#include "perfmodel/compose.hpp"
+#include "perfmodel/fit.hpp"
+#include "perfmodel/sweep_ingest.hpp"
+#include "perfmodel/term_basis.hpp"
+#include "sim/simulators.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using emc::perfmodel::ComposedModel;
+using emc::perfmodel::cv_fold;
+using emc::perfmodel::Factor;
+using emc::perfmodel::fit_model;
+using emc::perfmodel::fit_terms;
+using emc::perfmodel::FitOptions;
+using emc::perfmodel::FittedModel;
+using emc::perfmodel::load_sweep_text;
+using emc::perfmodel::Point;
+using emc::perfmodel::predictor_terms;
+using emc::perfmodel::Sample;
+using emc::perfmodel::Sweep;
+using emc::perfmodel::Term;
+using emc::perfmodel::to_samples;
+
+FittedModel constant_model(double value) {
+  FittedModel model;
+  model.terms = {Term{}};
+  model.coefficients = {value};
+  return model;
+}
+
+// ---------------------------------------------------------------- terms
+
+TEST(TermBasis, NamesAndValues) {
+  const Term constant;
+  EXPECT_EQ(constant.name(), "1");
+  EXPECT_TRUE(constant.is_constant());
+  EXPECT_EQ(constant.evaluate({{"procs", 64.0}}), 1.0);
+
+  const Term plogp({Factor{"procs", 1.0, 1}});
+  EXPECT_EQ(plogp.name(), "procs^1*log2(procs)^1");
+  EXPECT_DOUBLE_EQ(plogp.evaluate({{"procs", 8.0}}), 24.0);
+
+  const Term sqrt_term({Factor{"procs", 0.5, 0}});
+  EXPECT_EQ(sqrt_term.name(), "procs^0.5");
+  EXPECT_DOUBLE_EQ(sqrt_term.evaluate({{"procs", 16.0}}), 4.0);
+
+  const Term pure_log({Factor{"procs", 0.0, 2}});
+  EXPECT_EQ(pure_log.name(), "log2(procs)^2");
+  EXPECT_DOUBLE_EQ(pure_log.evaluate({{"procs", 8.0}}), 9.0);
+}
+
+TEST(TermBasis, EvaluateRejectsBadPoints) {
+  const Term plogp({Factor{"procs", 1.0, 1}});
+  EXPECT_THROW(plogp.evaluate({{"tasks", 8.0}}), std::invalid_argument);
+  // log2(0) is -inf: the term must refuse, not propagate non-finites.
+  EXPECT_THROW(plogp.evaluate({{"procs", 0.0}}), std::domain_error);
+}
+
+TEST(TermBasis, GridAndProducts) {
+  // 5 exponents x 3 log-exponents minus the excluded (0, 0).
+  const std::vector<Term> terms = predictor_terms("procs");
+  EXPECT_EQ(terms.size(), 14u);
+  for (const Term& t : terms) EXPECT_FALSE(t.is_constant());
+
+  const Term p({Factor{"procs", 1.0, 0}});
+  const Term h({Factor{"intensity", 1.0, 0}});
+  const Term product = p * h;
+  EXPECT_EQ(product.name(), "procs^1*intensity^1");
+  EXPECT_DOUBLE_EQ(
+      product.evaluate({{"procs", 4.0}, {"intensity", 1.5}}), 6.0);
+
+  const auto crosses = emc::perfmodel::cross_terms({p}, {h, p});
+  ASSERT_EQ(crosses.size(), 2u);
+  EXPECT_EQ(crosses[0].name(), "procs^1*intensity^1");
+  EXPECT_EQ(crosses[1].name(), "procs^1*procs^1");
+}
+
+// ------------------------------------------------------------- fitting
+
+std::vector<Sample> plogp_samples() {
+  std::vector<Sample> samples;
+  for (const double p : {2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0,
+                         512.0, 1024.0}) {
+    Sample s;
+    s.predictors = {{"procs", p}};
+    s.value = 3.0e-4 + 2.0e-6 * p * std::log2(p);
+    s.key = "procs=" + std::to_string(static_cast<int>(p));
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+TEST(Fit, RecoversPLogPExactly) {
+  const std::vector<Sample> samples = plogp_samples();
+  const FittedModel model =
+      fit_model(predictor_terms("procs"), samples, FitOptions{});
+
+  // Extrapolation 16x past the largest training P must stay exact.
+  const double p = 16384.0;
+  const double truth = 3.0e-4 + 2.0e-6 * p * std::log2(p);
+  EXPECT_NEAR(model.evaluate({{"procs", p}}) / truth, 1.0, 1e-6);
+
+  // And the recovered structure is the generating one: the constant
+  // plus exactly the P*log2(P) term.
+  ASSERT_EQ(model.terms.size(), 2u);
+  EXPECT_EQ(model.terms[0].name(), "1");
+  EXPECT_EQ(model.terms[1].name(), "procs^1*log2(procs)^1");
+  EXPECT_NEAR(model.coefficients[0], 3.0e-4, 1e-9);
+  EXPECT_NEAR(model.coefficients[1], 2.0e-6, 1e-11);
+}
+
+TEST(Fit, CrossValidationRejectsNoiseTerms) {
+  // A flat signal with +-3% multiplicative noise (two replicas per P):
+  // every candidate term can only chase noise, and the CV gate must
+  // keep the model constant.
+  emc::Rng rng(1);
+  std::vector<Sample> samples;
+  for (int rep = 0; rep < 2; ++rep) {
+    for (const double p : {2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0,
+                           512.0, 1024.0}) {
+      Sample s;
+      s.predictors = {{"procs", p}};
+      s.value = 5.0e-3 * rng.uniform(0.97, 1.03);
+      s.key = "rep=" + std::to_string(rep) +
+              ",procs=" + std::to_string(static_cast<int>(p));
+      samples.push_back(std::move(s));
+    }
+  }
+  const FittedModel model =
+      fit_model(predictor_terms("procs"), samples, FitOptions{});
+  ASSERT_EQ(model.terms.size(), 1u);
+  EXPECT_EQ(model.terms[0].name(), "1");
+  EXPECT_NEAR(model.coefficients[0], 5.0e-3, 5.0e-4);
+  // And the behavioral consequence: extrapolation 4x past the training
+  // range stays flat instead of riding a hallucinated growth term.
+  EXPECT_NEAR(model.evaluate({{"procs", 4096.0}}) / 5.0e-3, 1.0, 0.05);
+}
+
+TEST(Fit, BitwiseDeterministic) {
+  const std::vector<Sample> samples = plogp_samples();
+  const std::vector<Term> candidates = predictor_terms("procs");
+  const FittedModel a = fit_model(candidates, samples, FitOptions{});
+  const FittedModel b = fit_model(candidates, samples, FitOptions{});
+  ASSERT_EQ(a.terms.size(), b.terms.size());
+  for (std::size_t i = 0; i < a.terms.size(); ++i) {
+    EXPECT_EQ(a.terms[i].name(), b.terms[i].name());
+    // Bitwise: identical inputs must give identical coefficient bits.
+    EXPECT_EQ(a.coefficients[i], b.coefficients[i]);
+  }
+  EXPECT_EQ(a.cv_error, b.cv_error);
+  EXPECT_EQ(a.train_error, b.train_error);
+}
+
+TEST(Fit, StatelessFoldSplitPinned) {
+  // Regression pin of the stateless splitmix64(seed ^ fnv1a(key)) split
+  // (the PR 3 convention). These exact values are part of the on-disk
+  // contract: changing them silently re-splits every saved sweep.
+  const std::vector<std::string> keys{
+      "model=static,procs=64",  "model=static,procs=128",
+      "model=counter,procs=64", "model=counter,procs=128",
+      "model=ws,procs=64",      "model=ws,procs=128",
+      "model=hier,procs=256",   "model=ws,procs=4096"};
+  const std::vector<int> seed1_folds4{1, 2, 2, 2, 0, 2, 0, 3};
+  const std::vector<int> seed2_folds4{3, 1, 2, 0, 2, 3, 1, 1};
+  const std::vector<int> seed1_folds3{0, 1, 2, 0, 1, 2, 0, 1};
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(cv_fold(1, keys[i], 4), seed1_folds4[i]) << keys[i];
+    EXPECT_EQ(cv_fold(2, keys[i], 4), seed2_folds4[i]) << keys[i];
+    EXPECT_EQ(cv_fold(1, keys[i], 3), seed1_folds3[i]) << keys[i];
+  }
+  EXPECT_THROW(cv_fold(1, "k", 0), std::invalid_argument);
+}
+
+// --------------------------------------------------------- composition
+
+TEST(Compose, SerialSumsParallelMaxes) {
+  const ComposedModel two = ComposedModel::leaf(constant_model(2.0), "a");
+  const ComposedModel three = ComposedModel::leaf(constant_model(3.0), "b");
+  const Point at{{"procs", 64.0}};
+
+  EXPECT_DOUBLE_EQ(ComposedModel::serial({two, three}, "s").evaluate(at),
+                   5.0);
+  EXPECT_DOUBLE_EQ(ComposedModel::parallel({two, three}, "p").evaluate(at),
+                   3.0);
+
+  // serial(parallel(2, 3), 1) = max(2, 3) + 1.
+  const ComposedModel nested = ComposedModel::serial(
+      {ComposedModel::parallel({two, three}, "overlap"),
+       ComposedModel::leaf(constant_model(1.0), "tail")},
+      "makespan");
+  EXPECT_DOUBLE_EQ(nested.evaluate(at), 4.0);
+
+  const std::string description = nested.describe();
+  EXPECT_NE(description.find("serial makespan"), std::string::npos);
+  EXPECT_NE(description.find("parallel overlap"), std::string::npos);
+  EXPECT_NE(description.find("leaf tail"), std::string::npos);
+}
+
+TEST(Compose, RejectsDegenerateTrees) {
+  EXPECT_THROW(ComposedModel::serial({}, "empty"), std::invalid_argument);
+  EXPECT_THROW(ComposedModel::parallel({}, "empty"), std::invalid_argument);
+  const ComposedModel leaf = ComposedModel::leaf(constant_model(1.0), "l");
+  EXPECT_DOUBLE_EQ(leaf.fitted().coefficients[0], 1.0);
+  EXPECT_THROW(ComposedModel::serial({leaf}, "s").fitted(),
+               std::logic_error);
+}
+
+// ----------------------------------------------------------- ingestion
+
+std::string sweep_json(const std::vector<Sample>& samples) {
+  std::string json = "{\"sweep\":[";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (i > 0) json += ",";
+    json += "{\"model\":\"ws\",\"procs\":" +
+            emc::util::format_double(samples[i].predictors.at("procs")) +
+            ",\"makespan_s\":" +
+            emc::util::format_double(samples[i].value) + "}";
+  }
+  return json + "]}";
+}
+
+TEST(SweepIngest, RoundTripRefitsBitwise) {
+  // In-memory samples, keyed by the shared identity convention...
+  std::vector<Sample> direct;
+  emc::Rng rng(7);
+  for (const double p : {16.0, 32.0, 64.0, 128.0, 256.0, 512.0}) {
+    Sample s;
+    s.predictors = {{"procs", p}};
+    s.value = (1.0e-4 + 3.0e-7 * p) * rng.uniform(0.98, 1.02);
+    s.key = "model=ws,procs=" + emc::util::format_double(p);
+    direct.push_back(std::move(s));
+  }
+
+  // ...emitted to JSON (format_double: exact round trip), re-ingested
+  // through the strict parser, and refit: the identities, the values,
+  // and therefore the fitted coefficients must be bitwise identical.
+  const Sweep sweep = load_sweep_text(sweep_json(direct), "sweep");
+  const std::vector<Sample> ingested =
+      to_samples(sweep, {{"model", "ws"}}, {"procs"}, "makespan_s");
+
+  ASSERT_EQ(ingested.size(), direct.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(ingested[i].key, direct[i].key);
+    EXPECT_EQ(ingested[i].value, direct[i].value);
+    EXPECT_EQ(ingested[i].predictors.at("procs"),
+              direct[i].predictors.at("procs"));
+  }
+
+  const std::vector<Term> candidates = predictor_terms("procs");
+  const FittedModel a = fit_model(candidates, direct, FitOptions{});
+  const FittedModel b = fit_model(candidates, ingested, FitOptions{});
+  ASSERT_EQ(a.coefficients.size(), b.coefficients.size());
+  for (std::size_t i = 0; i < a.coefficients.size(); ++i) {
+    EXPECT_EQ(a.coefficients[i], b.coefficients[i]);
+  }
+}
+
+TEST(SweepIngest, RejectsMalformedSweeps) {
+  // Unknown path.
+  EXPECT_THROW(load_sweep_text("{\"sweep\":[]}", "missing"),
+               std::runtime_error);
+  // Path that is not an array.
+  EXPECT_THROW(load_sweep_text("{\"sweep\":{}}", "sweep"),
+               std::runtime_error);
+  // A cell with no identity field at all.
+  EXPECT_THROW(
+      load_sweep_text("{\"sweep\":[{\"makespan_s\":1}]}", "sweep"),
+      std::runtime_error);
+  // Two cells with the same identity.
+  EXPECT_THROW(load_sweep_text("{\"sweep\":[{\"model\":\"ws\",\"procs\":4},"
+                               "{\"model\":\"ws\",\"procs\":4}]}",
+                               "sweep"),
+               std::runtime_error);
+  // Missing predictor / target keys surface as errors, not zeros.
+  const Sweep sweep = load_sweep_text(
+      "{\"sweep\":[{\"model\":\"ws\",\"procs\":4,\"makespan_s\":1}]}",
+      "sweep");
+  EXPECT_THROW(to_samples(sweep, {}, {"tasks"}, "makespan_s"),
+               std::runtime_error);
+  EXPECT_THROW(to_samples(sweep, {}, {"procs"}, "elapsed"),
+               std::runtime_error);
+  // Nested-path addressing works.
+  const Sweep nested = load_sweep_text(
+      "{\"results\":{\"cells\":[{\"model\":\"ws\",\"procs\":8}]}}",
+      "results.cells");
+  EXPECT_EQ(nested.cells.size(), 1u);
+  EXPECT_EQ(nested.cells[0].identity(), "model=ws,procs=8");
+}
+
+// ---------------------------------------------- differential simulator
+
+TEST(Differential, PredictsFreshCounterRuns) {
+  // Weak-scaling shared-counter sweep: fit makespan vs P on small P,
+  // then the model must predict a *fresh simulator run* at a P it never
+  // saw (4x the largest training point) within 10%. Task cost is set
+  // well below P * counter_service so the counter is saturated across
+  // the whole training range — the regime where its linear-in-P
+  // serialization dominates and extrapolation is meaningful.
+  constexpr int kTasksPerProc = 32;
+  constexpr double kCost = 2.0e-6;
+
+  const auto simulate = [&](int procs) {
+    emc::sim::MachineConfig config;
+    config.n_procs = procs;
+    config.procs_per_node = std::min(16, procs);
+    const std::vector<double> costs(
+        static_cast<std::size_t>(procs) * kTasksPerProc, kCost);
+    return emc::sim::simulate_counter(config, costs, 1).makespan;
+  };
+
+  std::vector<Sample> train;
+  for (const int p : {32, 48, 64, 96, 128, 192, 256}) {
+    Sample s;
+    s.predictors = {{"procs", static_cast<double>(p)}};
+    s.value = simulate(p);
+    s.key = "model=counter,procs=" + std::to_string(p);
+    train.push_back(std::move(s));
+  }
+
+  const FittedModel model =
+      fit_model(predictor_terms("procs"), train, FitOptions{});
+  const double predicted = model.evaluate({{"procs", 1024.0}});
+  const double fresh = simulate(1024);
+  EXPECT_GT(fresh, 0.0);
+  EXPECT_NEAR(predicted / fresh, 1.0, 0.10)
+      << "model " << model.to_string() << " predicted " << predicted
+      << " vs simulated " << fresh;
+}
+
+}  // namespace

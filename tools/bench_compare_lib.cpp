@@ -1,5 +1,7 @@
 #include "bench_compare_lib.hpp"
 
+#include "util/report_cells.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
@@ -11,16 +13,6 @@ namespace emc::tools {
 namespace {
 
 using util::JsonValue;
-
-/// Identity fields used to match array-of-object cells across runs, in
-/// priority order. A cell's key is the concatenation of every identity
-/// field it carries, so "model=ws,procs=256" matches the same sweep
-/// cell even if the array was reordered or grew.
-constexpr const char* kIdentityKeys[] = {
-    "model",  "class",     "topology", "molecule", "workload",
-    "name",   "case",      "kind",     "scheduler", "intensity",
-    "procs",  "tasks",     "thief",    "victim",    "oversubscription",
-};
 
 /// Subtrees owned by the host, not the workload: everything under them
 /// is advisory.
@@ -199,23 +191,6 @@ struct Walker {
     }
   }
 
-  /// Builds the identity key of one array cell, "" if it has none.
-  static std::string cell_key(const JsonValue& cell) {
-    if (cell.kind != JsonValue::Kind::kObject) return "";
-    std::string key;
-    for (const char* id : kIdentityKeys) {
-      if (!cell.has(id)) continue;
-      const JsonValue& v = cell.object.at(id);
-      if (v.kind != JsonValue::Kind::kString &&
-          v.kind != JsonValue::Kind::kNumber) {
-        continue;
-      }
-      if (!key.empty()) key += ",";
-      key += std::string(id) + "=" + render(v);
-    }
-    return key;
-  }
-
   void compare_array(const std::string& path, const JsonValue& base,
                      const JsonValue& cand, bool noisy) {
     // Cell-matched comparison when every baseline element is an object
@@ -223,7 +198,7 @@ struct Walker {
     std::map<std::string, const JsonValue*> base_cells, cand_cells;
     bool keyed = !base.array.empty();
     for (const JsonValue& cell : base.array) {
-      const std::string key = cell_key(cell);
+      const std::string key = util::cell_identity(cell);
       if (key.empty() || base_cells.count(key)) {
         keyed = false;
         break;
@@ -232,7 +207,7 @@ struct Walker {
     }
     if (keyed) {
       for (const JsonValue& cell : cand.array) {
-        const std::string key = cell_key(cell);
+        const std::string key = util::cell_identity(cell);
         if (key.empty() || cand_cells.count(key)) {
           keyed = false;
           break;

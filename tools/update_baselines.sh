@@ -31,9 +31,10 @@ run bench_trace    --smoke --report="$scratch/BENCH_trace.json" \
                    --trace=BENCH_trace.chrome.json
 run bench_hybrid   --smoke --report="$scratch/BENCH_hybrid.json"
 run bench_serve    --smoke --report="$scratch/BENCH_serve.json"
+run bench_model_fit --smoke --report="$scratch/BENCH_model_fit.json"
 
 mkdir -p "$baselines"
-for b in simspeed kernel faults topology trace hybrid serve; do
+for b in simspeed kernel faults topology trace hybrid serve model_fit; do
   "$compare" --update-baseline \
     "$baselines/BENCH_$b.json" "$scratch/BENCH_$b.json"
 done
